@@ -1,0 +1,52 @@
+"""Ablation: A* heuristic on vs off (Dijkstra).
+
+The hex-grid-distance heuristic is exactly admissible (every edge costs at
+least its grid span), so both variants return equally-cheap paths; the
+heuristic just expands fewer nodes.  DESIGN.md lists this as a design
+choice worth ablating.
+"""
+
+import pytest
+
+
+@pytest.fixture(scope="module")
+def endpoints(habit_r9, kiel_gaps):
+    gap = kiel_gaps[0]
+    graph = habit_r9.graph
+    from repro.hexgrid import latlng_to_cell
+
+    res = habit_r9.config.resolution
+    src = graph.nearest_node(latlng_to_cell(gap.start[0], gap.start[1], res))
+    dst = graph.nearest_node(latlng_to_cell(gap.end[0], gap.end[1], res))
+    return graph, src, dst
+
+
+@pytest.mark.benchmark(group="ablation-astar")
+def test_astar_with_heuristic(benchmark, endpoints):
+    graph, src, dst = endpoints
+    path = benchmark(graph.astar, src, dst, True)
+    assert path is not None
+    benchmark.extra_info["path_cells"] = len(path)
+
+
+@pytest.mark.benchmark(group="ablation-astar")
+def test_dijkstra_no_heuristic(benchmark, endpoints):
+    graph, src, dst = endpoints
+    path = benchmark(graph.astar, src, dst, False)
+    assert path is not None
+    benchmark.extra_info["path_cells"] = len(path)
+
+
+def test_same_cost_both_ways(endpoints):
+    """Correctness side of the ablation: identical path cost."""
+    graph, src, dst = endpoints
+    with_h = graph.astar(src, dst, True)
+    without = graph.astar(src, dst, False)
+
+    def cost(path):
+        total = 0.0
+        for a, b in zip(path, path[1:]):
+            total += next(c for t, c, _ in graph.adjacency[a] if t == b)
+        return total
+
+    assert cost(with_h) == pytest.approx(cost(without))

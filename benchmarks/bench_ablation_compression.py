@@ -1,0 +1,55 @@
+"""Ablation: fitting HABIT on compressed vs raw trips.
+
+The annotation framework (Fikioris et al. 2022) can compress trajectories
+to their critical points.  Fitting HABIT on the compressed stream shrinks
+the input massively but thins cell support -- this ablation measures both
+sides (build time here; model sizes in extra_info).
+"""
+
+import pytest
+
+from repro.ais.schema import TRIP_ID
+from repro.core import HabitConfig, HabitImputer, annotate_events, compress_trajectory
+
+
+@pytest.fixture(scope="module")
+def compressed_trips(kiel):
+    annotated = annotate_events(kiel.train)
+    compressed = compress_trajectory(annotated)
+    for column in (
+        "ev_stop", "ev_gap_before", "ev_turn", "ev_slow", "ev_speed_change",
+    ):
+        compressed = compressed.drop(column)
+    return compressed
+
+
+@pytest.mark.benchmark(group="ablation-compression")
+def test_fit_on_raw(benchmark, kiel):
+    imputer = benchmark.pedantic(
+        lambda: HabitImputer(HabitConfig(resolution=9)).fit_from_trips(kiel.train),
+        rounds=2, iterations=1,
+    )
+    benchmark.extra_info["rows"] = kiel.train.num_rows
+    benchmark.extra_info["model_mb"] = imputer.storage_size_bytes() / 1e6
+
+
+@pytest.mark.benchmark(group="ablation-compression")
+def test_fit_on_compressed(benchmark, kiel, compressed_trips):
+    imputer = benchmark.pedantic(
+        lambda: HabitImputer(HabitConfig(resolution=9)).fit_from_trips(compressed_trips),
+        rounds=2, iterations=1,
+    )
+    benchmark.extra_info["rows"] = compressed_trips.num_rows
+    benchmark.extra_info["compression_ratio"] = (
+        kiel.train.num_rows / max(compressed_trips.num_rows, 1)
+    )
+    benchmark.extra_info["model_mb"] = imputer.storage_size_bytes() / 1e6
+
+
+def test_compression_preserves_trips(kiel, compressed_trips):
+    """Sanity: compression keeps every trip represented."""
+    import numpy as np
+
+    raw_trips = set(np.unique(kiel.train.column(TRIP_ID)).tolist())
+    kept_trips = set(np.unique(compressed_trips.column(TRIP_ID)).tolist())
+    assert kept_trips == raw_trips

@@ -1,0 +1,20 @@
+"""Ablation: HyperLogLog vs exact distinct counting in graph statistics.
+
+DuckDB's approx_count_distinct (HLL) is what the paper uses; the exact
+variant is the accuracy/speed trade-off baseline.
+"""
+
+import pytest
+
+from repro.core import HabitConfig, compute_statistics
+
+
+@pytest.mark.benchmark(group="ablation-hll")
+@pytest.mark.parametrize("approx", [True, False], ids=["hll", "exact"])
+def test_statistics_distinct_mode(benchmark, kiel, approx):
+    config = HabitConfig(resolution=9, approx_distinct=approx)
+    cell_stats, transition_stats = benchmark.pedantic(
+        compute_statistics, args=(kiel.train, config), rounds=3, iterations=1
+    )
+    benchmark.extra_info["cells"] = cell_stats.num_rows
+    benchmark.extra_info["transitions"] = transition_stats.num_rows

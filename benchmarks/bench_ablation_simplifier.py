@@ -1,0 +1,42 @@
+"""Ablation: RDP vs Visvalingam-Whyatt simplification of imputed paths.
+
+The paper uses RDP (its reference [19] is the Visvalingam & Whyatt
+re-evaluation of Douglas-Peucker); VW is the natural alternative.  This
+ablation compares runtime and the resulting vertex counts / turn profiles
+at roughly matched compression.
+"""
+
+import pytest
+
+from repro.core import HabitConfig, HabitImputer
+from repro.geo import rdp_simplify, turn_statistics, vw_simplify
+
+
+@pytest.fixture(scope="module")
+def raw_path(kiel, kiel_gaps):
+    imputer = HabitImputer(
+        HabitConfig(resolution=10, tolerance_m=0.0)
+    ).fit_from_trips(kiel.train)
+    gap = kiel_gaps[0]
+    result = imputer.impute(gap.start, gap.end)
+    return result.lats, result.lngs
+
+
+@pytest.mark.benchmark(group="ablation-simplifier")
+def test_rdp(benchmark, raw_path):
+    lats, lngs = raw_path
+    out_lat, out_lng = benchmark(rdp_simplify, lats, lngs, 250.0)
+    stats = turn_statistics(out_lat, out_lng)
+    benchmark.extra_info["cnt"] = stats.num_positions
+    benchmark.extra_info["gt45"] = stats.turns_over_45deg
+
+
+@pytest.mark.benchmark(group="ablation-simplifier")
+def test_visvalingam_whyatt(benchmark, raw_path):
+    lats, lngs = raw_path
+    # ~250 m tolerance corresponds to triangles of roughly 250 m height
+    # over ~500 m bases: ~60k m2.
+    out_lat, out_lng = benchmark(vw_simplify, lats, lngs, 60_000.0)
+    stats = turn_statistics(out_lat, out_lng)
+    benchmark.extra_info["cnt"] = stats.num_positions
+    benchmark.extra_info["gt45"] = stats.turns_over_45deg

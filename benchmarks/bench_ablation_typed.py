@@ -1,0 +1,43 @@
+"""Ablation: global graph vs vessel-type-aware graphs (future-work
+extension).  On mixed-traffic data (SAR) the typed variant routes each
+query on its class's motion patterns at the cost of extra graphs."""
+
+import pytest
+
+from repro.core import HabitConfig, HabitImputer
+from repro.core.typed import TypedHabitImputer
+
+
+@pytest.fixture(scope="module")
+def sar_gaps(sar):
+    gaps = sar.gaps(3600.0)
+    assert gaps
+    return gaps
+
+
+@pytest.fixture(scope="module")
+def global_imputer(sar):
+    return HabitImputer(HabitConfig(resolution=8)).fit_from_trips(sar.train)
+
+
+@pytest.fixture(scope="module")
+def typed_imputer(sar):
+    return TypedHabitImputer(
+        HabitConfig(resolution=8), min_group_rows=200
+    ).fit_from_trips(sar.train)
+
+
+@pytest.mark.benchmark(group="ablation-typed")
+def test_global_impute(benchmark, global_imputer, sar_gaps):
+    gap = sar_gaps[0]
+    result = benchmark(global_imputer.impute, gap.start, gap.end)
+    assert result is not None
+
+
+@pytest.mark.benchmark(group="ablation-typed")
+def test_typed_impute(benchmark, typed_imputer, sar_gaps):
+    gap = sar_gaps[0]
+    result = benchmark(typed_imputer.impute, gap.start, gap.end, "fishing")
+    assert result is not None
+    benchmark.extra_info["groups"] = ",".join(typed_imputer.fitted_groups)
+    benchmark.extra_info["model_mb"] = typed_imputer.storage_size_bytes() / 1e6

@@ -1,0 +1,35 @@
+"""Figure 5 benchmark: full sensitivity evaluation passes (method x gaps),
+including the DTW scoring cost that dominates batch evaluation."""
+
+import pytest
+
+from repro.baselines import StraightLineImputer
+from repro.eval import evaluate_imputer
+
+
+@pytest.mark.benchmark(group="fig5-evaluation")
+def test_evaluate_habit_over_gaps(benchmark, habit_r9, kiel_gaps):
+    result = benchmark.pedantic(
+        evaluate_imputer, args=(habit_r9, kiel_gaps, "HABIT"),
+        kwargs={"measure_storage": False}, rounds=2, iterations=1,
+    )
+    benchmark.extra_info["gaps"] = result.num_gaps
+    benchmark.extra_info["mean_dtw_m"] = result.mean_dtw_m
+
+
+@pytest.mark.benchmark(group="fig5-evaluation")
+def test_evaluate_sli_over_gaps(benchmark, kiel_gaps):
+    result = benchmark.pedantic(
+        evaluate_imputer, args=(StraightLineImputer(), kiel_gaps, "SLI"),
+        kwargs={"measure_storage": False}, rounds=2, iterations=1,
+    )
+    benchmark.extra_info["mean_dtw_m"] = result.mean_dtw_m
+
+
+@pytest.mark.benchmark(group="fig5-evaluation")
+def test_evaluate_gti_over_gaps(benchmark, gti_kiel, kiel_gaps):
+    result = benchmark.pedantic(
+        evaluate_imputer, args=(gti_kiel, kiel_gaps, "GTI"),
+        kwargs={"measure_storage": False}, rounds=2, iterations=1,
+    )
+    benchmark.extra_info["mean_dtw_m"] = result.mean_dtw_m

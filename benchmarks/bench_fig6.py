@@ -1,0 +1,28 @@
+"""Figure 6 benchmark: example-case export (impute all methods + GeoJSON)."""
+
+import pytest
+
+from repro.baselines import StraightLineImputer
+from repro.io import feature_collection, linestring_feature, write_geojson
+
+
+@pytest.mark.benchmark(group="fig6-export")
+def test_export_case(benchmark, habit_r9, gti_kiel, kiel_gaps, tmp_path):
+    sli = StraightLineImputer()
+    gap = kiel_gaps[0]
+
+    def export():
+        features = [
+            linestring_feature(gap.truth_lats, gap.truth_lngs, {"name": "original"})
+        ]
+        for name, imputer in (("HABIT", habit_r9), ("GTI", gti_kiel), ("SLI", sli)):
+            result = imputer.impute(gap.start, gap.end)
+            features.append(
+                linestring_feature(result.lats, result.lngs, {"name": name})
+            )
+        return write_geojson(
+            feature_collection(features), tmp_path / "case.geojson"
+        )
+
+    path = benchmark(export)
+    assert path.exists()

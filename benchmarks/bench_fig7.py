@@ -1,0 +1,28 @@
+"""Figure 7 benchmark: imputation across gap durations (1/2/4 h).
+
+Longer gaps mean longer A* paths and longer DTW alignments; the growth
+must stay graceful (sub-linear in duration for the median case).
+"""
+
+import pytest
+
+from repro.eval.metrics import dtw_distance_m
+
+
+@pytest.mark.benchmark(group="fig7-durations")
+@pytest.mark.parametrize("hours", [1.0, 2.0, 4.0])
+def test_gap_duration(benchmark, kiel, habit_r9, hours):
+    gaps = kiel.gaps(hours * 3600.0)
+    if not gaps:
+        pytest.skip(f"no {hours}-hour gaps fit the benchmark trips")
+    gap = gaps[0]
+
+    def impute_and_score():
+        result = habit_r9.impute(gap.start, gap.end)
+        return dtw_distance_m(
+            result.lats, result.lngs, gap.truth_lats, gap.truth_lngs
+        )
+
+    dtw = benchmark(impute_and_score)
+    benchmark.extra_info["dtw_m"] = float(dtw)
+    benchmark.extra_info["gap_h"] = hours

@@ -1,0 +1,25 @@
+"""Table 1 benchmark: dataset generation and preprocessing throughput."""
+
+import pytest
+
+from repro.core.annotate import clean_messages
+from repro.core.segmentation import segment_trips
+from repro.sim.datasets import build_dataset
+
+
+@pytest.mark.benchmark(group="table1-generation")
+def test_generate_kiel(benchmark):
+    bundle = benchmark.pedantic(
+        build_dataset, args=("KIEL",), kwargs={"scale": 0.05, "seed": 1},
+        rounds=2, iterations=1,
+    )
+    benchmark.extra_info["positions"] = bundle.num_positions
+
+
+@pytest.mark.benchmark(group="table1-preprocess")
+def test_clean_and_segment_kiel(benchmark, kiel):
+    def pipeline():
+        return segment_trips(clean_messages(kiel.bundle.table))
+
+    trips = benchmark.pedantic(pipeline, rounds=2, iterations=1)
+    benchmark.extra_info["trip_rows"] = trips.num_rows

@@ -1,0 +1,70 @@
+"""Shared benchmark fixtures.
+
+Benchmarks run on miniature datasets (generated once per session into a
+temporary cache) so the whole ``pytest benchmarks/ --benchmark-only`` run
+finishes in minutes.  The *relative* numbers -- HABIT vs GTI latency,
+resolution scaling, heuristic speedups -- are the reproduction targets;
+absolute magnitudes depend on dataset scale.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import GTIConfig, GTIImputer
+from repro.core import HabitConfig, HabitImputer
+from repro.experiments import common
+
+#: Benchmark dataset scales (smaller than experiment scales).
+BENCH_SCALES = {"DAN": 0.03, "KIEL": 0.15, "SAR": 0.015}
+
+
+@pytest.fixture(scope="session")
+def bench_cache(tmp_path_factory):
+    return str(tmp_path_factory.mktemp("bench_data"))
+
+
+@pytest.fixture(scope="session")
+def kiel(bench_cache):
+    return common.prepare("KIEL", scale=BENCH_SCALES["KIEL"], cache_dir=bench_cache)
+
+
+@pytest.fixture(scope="session")
+def sar(bench_cache):
+    return common.prepare("SAR", scale=BENCH_SCALES["SAR"], cache_dir=bench_cache)
+
+
+@pytest.fixture(scope="session")
+def dan(bench_cache):
+    return common.prepare("DAN", scale=BENCH_SCALES["DAN"], cache_dir=bench_cache)
+
+
+@pytest.fixture(scope="session")
+def kiel_gaps(kiel):
+    gaps = kiel.gaps(3600.0)
+    assert gaps, "benchmark dataset produced no gaps"
+    return gaps
+
+
+@pytest.fixture(scope="session")
+def habit_r9(kiel):
+    return HabitImputer(HabitConfig(resolution=9, tolerance_m=100.0)).fit_from_trips(
+        kiel.train
+    )
+
+
+@pytest.fixture(scope="session")
+def habit_r10(kiel):
+    return HabitImputer(HabitConfig(resolution=10, tolerance_m=100.0)).fit_from_trips(
+        kiel.train
+    )
+
+
+@pytest.fixture(scope="session")
+def gti_kiel(kiel):
+    config = GTIConfig(rm_m=250.0, rd_deg=5e-4, downsample_s=common.GTI_DOWNSAMPLE_S)
+    return GTIImputer(config).fit_from_trips(kiel.train)
+
+
+@pytest.fixture(scope="session")
+def rng():
+    return np.random.default_rng(42)
