@@ -2,8 +2,8 @@
 
 The hex-grid-distance heuristic is exactly admissible (every edge costs at
 least its grid span), so both variants return equally-cheap paths; the
-heuristic just expands fewer nodes.  DESIGN.md lists this as a design
-choice worth ablating.
+heuristic just expands fewer nodes.  docs/ARCHITECTURE.md lists this as a
+design choice worth ablating.
 """
 
 import pytest

@@ -1,0 +1,9 @@
+"""AIS data model: the canonical column schema shared by every layer.
+
+Kept separate from the generators so a future real-data loader (the
+ROADMAP's next open item) can target the same schema.
+"""
+
+from repro.ais import schema
+
+__all__ = ["schema"]

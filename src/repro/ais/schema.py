@@ -1,0 +1,37 @@
+"""Canonical AIS column names.
+
+Every :class:`repro.minidb.Table` flowing through the pipeline uses these
+names; downstream code imports the constants instead of repeating string
+literals.  ``TRIP_ID`` is added by :func:`repro.core.segment_trips`; the
+raw feed carries the remaining columns.
+"""
+
+#: Vessel identifier (MMSI-like integer).
+VESSEL_ID = "vessel_id"
+
+#: Unix-style timestamp in seconds (float64).
+T = "t"
+
+#: Latitude in decimal degrees (WGS84).
+LAT = "lat"
+
+#: Longitude in decimal degrees (WGS84).
+LON = "lon"
+
+#: Speed over ground in knots.
+SOG = "sog"
+
+#: Course over ground in degrees [0, 360).
+COG = "cog"
+
+#: Vessel type label (e.g. ``"cargo"``, ``"fishing"``).
+VESSEL_TYPE = "vessel_type"
+
+#: Trip identifier assigned by segmentation (int64, globally unique).
+TRIP_ID = "trip_id"
+
+#: Columns expected in a raw (pre-segmentation) AIS table.
+RAW_COLUMNS = (VESSEL_ID, T, LAT, LON, SOG, COG, VESSEL_TYPE)
+
+#: Columns of a segmented trip table.
+TRIP_COLUMNS = RAW_COLUMNS + (TRIP_ID,)

@@ -1,0 +1,14 @@
+"""Baseline imputers the paper compares HABIT against.
+
+- :class:`StraightLineImputer` (SLI): linear interpolation between the gap
+  endpoints -- the no-knowledge floor.
+- :class:`GTIImputer`: graph-based trajectory imputation over a *point*
+  graph of downsampled historical positions, routed with Dijkstra.  It
+  carries an order of magnitude more nodes than HABIT's cell graph, which
+  is the storage/latency contrast in Tables 2 and 4.
+"""
+
+from repro.baselines.gti import GTIConfig, GTIImputer
+from repro.baselines.straight import StraightLineImputer
+
+__all__ = ["GTIConfig", "GTIImputer", "StraightLineImputer"]

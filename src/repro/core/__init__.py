@@ -1,0 +1,42 @@
+"""The HABIT pipeline: clean -> segment -> index -> learn -> impute.
+
+This is the paper's method end to end:
+
+1. :func:`clean_messages` drops malformed AIS messages and canonicalises
+   order (:mod:`repro.core.annotate`).
+2. :func:`segment_trips` splits vessel streams into trips at temporal or
+   spatial discontinuities (:mod:`repro.core.segmentation`).
+3. :func:`compute_statistics` aggregates positions into hex-cell and
+   cell-transition statistics with :mod:`repro.minidb`
+   (:mod:`repro.core.statistics`).
+4. :class:`HabitImputer` builds a weighted cell graph from those statistics
+   and answers gap queries with A* plus RDP smoothing
+   (:mod:`repro.core.habit`, :mod:`repro.core.graph`).
+
+Side branches: :func:`annotate_events` / :func:`compress_trajectory`
+implement the critical-point compression ablation, and
+:class:`TypedHabitImputer` routes queries over per-vessel-type graphs
+(:mod:`repro.core.typed`).
+"""
+
+from repro.core.annotate import annotate_events, clean_messages, compress_trajectory
+from repro.core.graph import CellGraph
+from repro.core.habit import HabitConfig, HabitImputer
+from repro.core.path import ImputedPath, straight_line_path
+from repro.core.segmentation import segment_trips
+from repro.core.statistics import compute_statistics
+from repro.core.typed import TypedHabitImputer
+
+__all__ = [
+    "CellGraph",
+    "HabitConfig",
+    "HabitImputer",
+    "ImputedPath",
+    "TypedHabitImputer",
+    "annotate_events",
+    "clean_messages",
+    "compress_trajectory",
+    "compute_statistics",
+    "segment_trips",
+    "straight_line_path",
+]

@@ -1,0 +1,111 @@
+"""Message cleaning and trajectory annotation/compression.
+
+:func:`clean_messages` is the pipeline's first stage: drop malformed AIS
+messages and canonicalise ordering.  :func:`annotate_events` and
+:func:`compress_trajectory` implement critical-point compression in the
+spirit of Fikioris et al. (2022): flag per-row mobility events (stops,
+turns, gaps, speed changes) and keep only event rows plus trip endpoints.
+Fitting HABIT on the compressed stream is the Table/ablation trade-off:
+far fewer rows, thinner cell support.
+"""
+
+import numpy as np
+
+from repro.ais import schema
+
+__all__ = ["annotate_events", "clean_messages", "compress_trajectory"]
+
+#: Event columns produced by :func:`annotate_events`.
+EVENT_COLUMNS = ("ev_stop", "ev_slow", "ev_turn", "ev_speed_change", "ev_gap_before")
+
+
+def clean_messages(table, max_sog_kn=60.0):
+    """Drop malformed messages and sort by (vessel, time).
+
+    Removes non-finite or out-of-range coordinates, negative or implausible
+    speeds, and duplicate ``(vessel_id, t)`` reports (keeping the first).
+    Returns a new table; an empty input passes through unchanged.
+    """
+    if table.num_rows == 0:
+        return table
+    lat = np.asarray(table.column(schema.LAT), dtype=np.float64)
+    lon = np.asarray(table.column(schema.LON), dtype=np.float64)
+    sog = np.asarray(table.column(schema.SOG), dtype=np.float64)
+    t = np.asarray(table.column(schema.T), dtype=np.float64)
+    mask = (
+        np.isfinite(lat)
+        & np.isfinite(lon)
+        & np.isfinite(t)
+        & (np.abs(lat) <= 90.0)
+        & (np.abs(lon) <= 180.0)
+        & np.isfinite(sog)
+        & (sog >= 0.0)
+        & (sog <= max_sog_kn)
+    )
+    cleaned = table.filter(mask).sort_by(schema.VESSEL_ID, schema.T)
+    if cleaned.num_rows == 0:
+        return cleaned
+    vessel = cleaned.column(schema.VESSEL_ID)
+    tt = cleaned.column(schema.T)
+    fresh = np.ones(cleaned.num_rows, dtype=bool)
+    fresh[1:] = (vessel[1:] != vessel[:-1]) | (tt[1:] != tt[:-1])
+    return cleaned.filter(fresh)
+
+
+def annotate_events(
+    trips,
+    stop_sog_kn=0.5,
+    slow_sog_kn=2.0,
+    turn_deg=15.0,
+    speed_change_kn=2.0,
+    gap_s=600.0,
+):
+    """Add boolean event columns to a segmented trip table.
+
+    Events are computed per trip in time order: ``ev_stop`` / ``ev_slow``
+    from instantaneous speed, ``ev_turn`` from course change versus the
+    previous report, ``ev_speed_change`` from speed delta, and
+    ``ev_gap_before`` when the preceding report is more than *gap_s* away.
+    """
+    if trips.num_rows == 0:
+        return trips.with_columns(
+            **{name: np.zeros(0, dtype=bool) for name in EVENT_COLUMNS}
+        )
+    sog = np.asarray(trips.column(schema.SOG), dtype=np.float64)
+    cog = np.asarray(trips.column(schema.COG), dtype=np.float64)
+    t = np.asarray(trips.column(schema.T), dtype=np.float64)
+    prev_t = trips.lag(schema.T, schema.TRIP_ID, schema.T, 1, np.nan)
+    prev_sog = trips.lag(schema.SOG, schema.TRIP_ID, schema.T, 1, np.nan)
+    prev_cog = trips.lag(schema.COG, schema.TRIP_ID, schema.T, 1, np.nan)
+    d_cog = np.abs(np.mod(cog - prev_cog + 180.0, 360.0) - 180.0)
+    with np.errstate(invalid="ignore"):
+        ev_turn = np.where(np.isnan(prev_cog), False, d_cog > turn_deg)
+        ev_speed = np.where(
+            np.isnan(prev_sog), False, np.abs(sog - prev_sog) > speed_change_kn
+        )
+        ev_gap = np.where(np.isnan(prev_t), False, (t - prev_t) > gap_s)
+    return trips.with_columns(
+        ev_stop=sog < stop_sog_kn,
+        ev_slow=(sog >= stop_sog_kn) & (sog < slow_sog_kn),
+        ev_turn=ev_turn.astype(bool),
+        ev_speed_change=ev_speed.astype(bool),
+        ev_gap_before=ev_gap.astype(bool),
+    )
+
+
+def compress_trajectory(annotated):
+    """Keep only critical points: event rows plus each trip's endpoints.
+
+    Every trip stays represented (its first and last report are always
+    retained), so downstream per-trip logic keeps working on the
+    compressed stream.
+    """
+    if annotated.num_rows == 0:
+        return annotated
+    trip = annotated.column(schema.TRIP_ID)
+    prev_trip = annotated.lag(schema.TRIP_ID, schema.TRIP_ID, schema.T, 1, -1)
+    next_trip = annotated.lag(schema.TRIP_ID, schema.TRIP_ID, schema.T, -1, -1)
+    keep = (prev_trip != trip) | (next_trip != trip)
+    for name in EVENT_COLUMNS:
+        keep = keep | np.asarray(annotated.column(name), dtype=bool)
+    return annotated.filter(keep)

@@ -1,0 +1,186 @@
+"""HABIT: the paper's data-driven, grid-based trajectory imputer.
+
+Fitting aggregates historical trips into cell/transition statistics and
+freezes them into a :class:`repro.core.graph.CellGraph`; after
+:meth:`HabitImputer.fit_from_trips` the imputer is stateless -- queries
+only read the graph, so fitted models can be shared, cached, or sharded
+freely (a property later scaling PRs rely on).
+
+A query snaps both gap endpoints to graph nodes, runs A*, projects the
+cell path to positions (cell centres or per-cell medians), simplifies with
+RDP at ``tolerance_m``, and pins the exact endpoints.  When no route
+exists the imputer degrades to a straight line, flagged in
+``ImputedPath.method``.
+"""
+
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.graph import CellGraph
+from repro.core.path import ImputedPath, resample_polyline, straight_line_path
+from repro.core.statistics import compute_statistics
+from repro.geo.simplify import rdp_simplify
+from repro.hexgrid import grid_distance, latlng_to_cell
+
+__all__ = ["HabitConfig", "HabitImputer"]
+
+
+@dataclass(frozen=True)
+class HabitConfig:
+    """Tuning knobs for :class:`HabitImputer`.
+
+    - ``resolution``: hex grid resolution (paper sweep: 6..10).
+    - ``tolerance_m``: RDP simplification tolerance; 0 disables smoothing.
+    - ``projection``: node placement, ``"center"`` or ``"median"``.
+    - ``edge_weight``: ``"transitions"`` (paper) or ``"inverse_frequency"``.
+    - ``approx_distinct``: HyperLogLog vs exact distinct vessels in stats.
+    - ``snap_max_ring``: hex rings searched before the snap full-scan.
+    - ``snap_limit_cells``: reject a snap farther than this many grid
+      steps from the query endpoint -- queries far outside the trained
+      coverage degrade to the straight-line fallback instead of routing
+      through an arbitrarily distant corridor.
+    - ``resample_m``: output point spacing; simplified paths are resampled
+      back to AIS-like density so point-to-point metrics stay comparable.
+    """
+
+    resolution: int = 9
+    tolerance_m: float = 100.0
+    projection: str = "center"
+    edge_weight: str = "transitions"
+    approx_distinct: bool = True
+    snap_max_ring: int = 8
+    snap_limit_cells: int = 200
+    resample_m: float = 250.0
+
+
+class HabitImputer:
+    """Imputes trajectory gaps by routing over learned cell transitions."""
+
+    def __init__(self, config=None):
+        self.config = config or HabitConfig()
+        self.graph = None
+        self.cell_stats = None
+        self.transition_stats = None
+
+    # -- fitting ----------------------------------------------------------
+
+    def fit_from_trips(self, trips):
+        """Learn the cell graph from a segmented trip table; returns self."""
+        cell_stats, transition_stats = compute_statistics(trips, self.config)
+        self.cell_stats = cell_stats
+        self.transition_stats = transition_stats
+        self.graph = CellGraph.from_statistics(
+            cell_stats,
+            transition_stats,
+            projection=self.config.projection,
+            edge_weight=self.config.edge_weight,
+        )
+        return self
+
+    def _require_fitted(self):
+        if self.graph is None:
+            raise RuntimeError("HabitImputer.impute called before fit_from_trips")
+
+    # -- querying ---------------------------------------------------------
+
+    def impute(self, start, end, use_heuristic=True):
+        """Reconstruct the path between two ``(lat, lng)`` gap endpoints."""
+        self._require_fitted()
+        config = self.config
+        if self.graph.num_nodes == 0:
+            return straight_line_path(start, end, method="fallback")
+        src_cell = latlng_to_cell(start[0], start[1], config.resolution)
+        dst_cell = latlng_to_cell(end[0], end[1], config.resolution)
+        src = self.graph.nearest_node(src_cell, config.snap_max_ring)
+        dst = self.graph.nearest_node(dst_cell, config.snap_max_ring)
+        if (
+            grid_distance(src_cell, src) > config.snap_limit_cells
+            or grid_distance(dst_cell, dst) > config.snap_limit_cells
+        ):
+            return straight_line_path(start, end, method="fallback")
+        cell_path = self.graph.astar(src, dst, use_heuristic)
+        if cell_path is None:
+            return straight_line_path(start, end, method="fallback")
+        attrs = self.graph.node_attrs
+        lats = np.empty(len(cell_path) + 2)
+        lngs = np.empty(len(cell_path) + 2)
+        lats[0], lngs[0] = float(start[0]), float(start[1])
+        lats[-1], lngs[-1] = float(end[0]), float(end[1])
+        for i, cell in enumerate(cell_path, start=1):
+            lats[i], lngs[i] = attrs[cell]
+        if config.tolerance_m > 0.0 and len(lats) > 2:
+            lats, lngs = rdp_simplify(lats, lngs, config.tolerance_m)
+        if config.resample_m > 0.0:
+            lats, lngs = resample_polyline(lats, lngs, config.resample_m)
+        method = "astar" if use_heuristic else "dijkstra"
+        return ImputedPath(lats=lats, lngs=lngs, method=method, cells=tuple(cell_path))
+
+    # -- persistence ------------------------------------------------------
+
+    def storage_size_bytes(self):
+        """Model footprint: the graph's flat arrays."""
+        self._require_fitted()
+        return self.graph.storage_size_bytes()
+
+    def save(self, path):
+        """Serialise the fitted model to an ``.npz`` file; returns the path."""
+        self._require_fitted()
+        path = Path(path)
+        if path.suffix != ".npz":
+            # np.savez appends the suffix itself; mirror it so the returned
+            # path always names the file actually written.
+            path = path.with_name(path.name + ".npz")
+        graph = self.graph
+        config = self.config
+        np.savez(
+            path,
+            cells=graph.cells,
+            lats=graph.lats,
+            lngs=graph.lngs,
+            edge_src=graph.edge_src,
+            edge_dst=graph.edge_dst,
+            edge_cost=graph.edge_cost,
+            edge_count=graph.edge_count,
+            config=np.array(
+                [
+                    str(config.resolution),
+                    str(config.tolerance_m),
+                    config.projection,
+                    config.edge_weight,
+                    str(int(config.approx_distinct)),
+                    str(config.snap_max_ring),
+                    str(config.snap_limit_cells),
+                    str(config.resample_m),
+                ]
+            ),
+        )
+        return path
+
+    @classmethod
+    def load(cls, path):
+        """Restore a model saved with :meth:`save`."""
+        with np.load(path) as data:
+            raw = data["config"]
+            config = HabitConfig(
+                resolution=int(raw[0]),
+                tolerance_m=float(raw[1]),
+                projection=str(raw[2]),
+                edge_weight=str(raw[3]),
+                approx_distinct=bool(int(raw[4])),
+                snap_max_ring=int(raw[5]),
+                snap_limit_cells=int(raw[6]),
+                resample_m=float(raw[7]),
+            )
+            imputer = cls(config)
+            imputer.graph = CellGraph(
+                data["cells"],
+                data["lats"],
+                data["lngs"],
+                data["edge_src"],
+                data["edge_dst"],
+                data["edge_cost"],
+                data["edge_count"],
+            )
+        return imputer

@@ -1,0 +1,46 @@
+"""Trip segmentation: split vessel streams at temporal/spatial breaks.
+
+A *trip* is a maximal run of one vessel's reports with no time gap longer
+than ``max_gap_s`` and no positional jump longer than ``max_jump_m``.
+Segmentation is fully vectorised: sort by (vessel, time), mark break rows,
+and take the cumulative sum of breaks as the trip id.
+"""
+
+import numpy as np
+
+from repro.ais import schema
+from repro.geo.proj import M_PER_DEG
+
+__all__ = ["segment_trips"]
+
+
+def segment_trips(table, max_gap_s=1800.0, max_jump_m=5000.0, min_points=2):
+    """Assign a ``trip_id`` column, dropping trips shorter than *min_points*.
+
+    Input order does not matter (rows are sorted by vessel and timestamp
+    first); an empty table yields an empty table with the trip column.
+    Trip ids are dense int64 values, globally unique across vessels.
+    """
+    if table.num_rows == 0:
+        return table.with_columns(**{schema.TRIP_ID: np.zeros(0, dtype=np.int64)})
+    ordered = table.sort_by(schema.VESSEL_ID, schema.T)
+    vessel = ordered.column(schema.VESSEL_ID)
+    t = np.asarray(ordered.column(schema.T), dtype=np.float64)
+    lat = np.asarray(ordered.column(schema.LAT), dtype=np.float64)
+    lon = np.asarray(ordered.column(schema.LON), dtype=np.float64)
+
+    n = ordered.num_rows
+    breaks = np.zeros(n, dtype=bool)
+    breaks[0] = True
+    new_vessel = vessel[1:] != vessel[:-1]
+    dt = t[1:] - t[:-1]
+    dy = (lat[1:] - lat[:-1]) * M_PER_DEG
+    dx = (lon[1:] - lon[:-1]) * M_PER_DEG * np.cos(np.radians(lat[:-1]))
+    jump = np.hypot(dx, dy)
+    breaks[1:] = new_vessel | (dt > max_gap_s) | (jump > max_jump_m)
+    trip_ids = np.cumsum(breaks) - 1
+    segmented = ordered.with_columns(**{schema.TRIP_ID: trip_ids.astype(np.int64)})
+    if min_points > 1:
+        counts = np.bincount(trip_ids)
+        segmented = segmented.filter(counts[trip_ids] >= min_points)
+    return segmented

@@ -1,0 +1,93 @@
+"""Per-cell and per-transition statistics (the paper's CTE stage).
+
+:func:`compute_statistics` indexes every position into a hex cell at the
+configured resolution, then produces two tables with one
+:mod:`repro.minidb` pass each:
+
+- **cell statistics**: support count, distinct vessels (HyperLogLog or
+  exact, per ``config.approx_distinct``), and median position/speed/course
+  -- the medians drive the "median" cell projection.
+- **transition statistics**: directed cell pairs observed consecutively
+  within a trip, with transition counts and distinct-vessel support --
+  the graph's edge list.
+"""
+
+import numpy as np
+
+from repro.ais import schema
+from repro.hexgrid import latlng_to_cell_array
+from repro.minidb import Table, agg
+
+__all__ = ["CELL", "NEXT_CELL", "compute_statistics"]
+
+#: Column name for the hex cell id.
+CELL = "cell"
+
+#: Column name for the following cell within a trip.
+NEXT_CELL = "next_cell"
+
+_NO_CELL = np.int64(-1)
+
+
+def _distinct_agg(approx):
+    spec = agg.approx_count_distinct if approx else agg.count_distinct
+    return spec(schema.VESSEL_ID).alias("vessels")
+
+
+def compute_statistics(trips, config):
+    """Aggregate a segmented trip table into (cell_stats, transition_stats).
+
+    *config* is a :class:`repro.core.habit.HabitConfig`; its ``resolution``
+    picks the grid and ``approx_distinct`` picks the distinct-count kernel.
+    """
+    cells = latlng_to_cell_array(
+        trips.column(schema.LAT), trips.column(schema.LON), config.resolution
+    )
+    indexed = trips.with_columns(**{CELL: cells})
+    cell_stats = indexed.group_by(CELL).agg(
+        agg.count(),
+        _distinct_agg(config.approx_distinct),
+        agg.median(schema.LAT).alias("median_lat"),
+        agg.median(schema.LON).alias("median_lon"),
+        agg.median(schema.SOG).alias("median_sog"),
+        agg.median(schema.COG).alias("median_cog"),
+    )
+
+    nxt = indexed.lag(CELL, schema.TRIP_ID, schema.T, -1, _NO_CELL)
+    moved = (nxt != _NO_CELL) & (nxt != cells)
+    if not np.any(moved):
+        transition_stats = Table(
+            {
+                CELL: np.zeros(0, dtype=np.int64),
+                NEXT_CELL: np.zeros(0, dtype=np.int64),
+                "transitions": np.zeros(0, dtype=np.int64),
+                "vessels": np.zeros(0, dtype=np.int64),
+            }
+        )
+        return cell_stats, transition_stats
+
+    pairs = indexed.filter(moved).with_columns(**{NEXT_CELL: nxt[moved]})
+    transition_stats = pairs.group_by(CELL, NEXT_CELL).agg(
+        agg.count().alias("transitions"),
+        _distinct_agg(config.approx_distinct),
+    )
+    return cell_stats, transition_stats
+
+
+def cell_medians(cell_stats):
+    """Convenience accessor: (cells, median_lats, median_lons) arrays."""
+    return (
+        cell_stats.column(CELL),
+        cell_stats.column("median_lat"),
+        cell_stats.column("median_lon"),
+    )
+
+
+def transition_arrays(transition_stats):
+    """Convenience accessor: (src, dst, transitions, vessels) arrays."""
+    return (
+        transition_stats.column(CELL),
+        transition_stats.column(NEXT_CELL),
+        transition_stats.column("transitions"),
+        transition_stats.column("vessels"),
+    )

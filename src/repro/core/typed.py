@@ -1,0 +1,61 @@
+"""Vessel-type-aware HABIT: one cell graph per traffic class.
+
+Mixed-traffic waters (the SAR dataset) blend motion patterns -- a fishing
+vessel's loops teach a cargo router bad habits.  :class:`TypedHabitImputer`
+fits one :class:`repro.core.habit.HabitImputer` per vessel type with
+enough support, plus a global fallback for thin classes and untyped
+queries.  This is the paper's future-work extension, ablated in
+``bench_ablation_typed``.
+"""
+
+import numpy as np
+
+from repro.ais import schema
+from repro.core.habit import HabitConfig, HabitImputer
+
+__all__ = ["TypedHabitImputer"]
+
+
+class TypedHabitImputer:
+    """Routes each gap query on its vessel class's own transition graph."""
+
+    def __init__(self, config=None, min_group_rows=1000):
+        self.config = config or HabitConfig()
+        self.min_group_rows = min_group_rows
+        self.by_type = {}
+        self.fallback = None
+
+    @property
+    def fitted_groups(self):
+        """Vessel types that received their own graph, sorted."""
+        return sorted(self.by_type)
+
+    def fit_from_trips(self, trips):
+        """Fit per-type graphs plus the global fallback; returns self."""
+        self.fallback = HabitImputer(self.config).fit_from_trips(trips)
+        self.by_type = {}
+        types = np.asarray(trips.column(schema.VESSEL_TYPE))
+        for vessel_type in np.unique(types):
+            mask = types == vessel_type
+            if int(mask.sum()) < self.min_group_rows:
+                continue
+            group = trips.filter(mask)
+            self.by_type[str(vessel_type)] = HabitImputer(self.config).fit_from_trips(
+                group
+            )
+        return self
+
+    def impute(self, start, end, vessel_type=None):
+        """Impute on the type's graph, falling back to the global one."""
+        if self.fallback is None:
+            raise RuntimeError("TypedHabitImputer.impute called before fit_from_trips")
+        key = str(vessel_type) if vessel_type is not None else None
+        imputer = self.by_type.get(key, self.fallback)
+        return imputer.impute(start, end)
+
+    def storage_size_bytes(self):
+        """Total footprint across the fallback and all typed graphs."""
+        if self.fallback is None:
+            raise RuntimeError("TypedHabitImputer not fitted")
+        total = self.fallback.storage_size_bytes()
+        return total + sum(i.storage_size_bytes() for i in self.by_type.values())

@@ -1,0 +1,11 @@
+"""Experiment harness: dataset preparation shared by benchmarks and tests.
+
+:mod:`repro.experiments.common` turns a named synthetic dataset into the
+paper's experimental setup -- cleaned and segmented trips, a train/test
+trip split, and ground-truthed evaluation gaps -- with on-disk caching so
+benchmark sessions pay generation cost once.
+"""
+
+from repro.experiments import common
+
+__all__ = ["common"]

@@ -1,0 +1,162 @@
+"""Dataset preparation: generate -> clean -> segment -> split -> gaps.
+
+:func:`prepare` is the single entry point the benchmark suite and tests
+use.  It builds (or loads from cache) a synthetic dataset, runs the
+cleaning and segmentation stages, splits *trips* (not rows) into train
+and test, and exposes :meth:`PreparedDataset.gaps`: synthetic evaluation
+gaps cut from held-out test trips, keeping the hidden positions as ground
+truth.
+"""
+
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.ais import schema
+from repro.core.annotate import clean_messages
+from repro.core.segmentation import segment_trips
+from repro.minidb import Table
+from repro.sim.datasets import DatasetBundle, build_dataset
+
+__all__ = ["GTI_DOWNSAMPLE_S", "Gap", "PreparedDataset", "prepare"]
+
+#: Temporal downsampling used when fitting the GTI baseline (seconds).
+GTI_DOWNSAMPLE_S = 60.0
+
+#: Fraction of trips held out for evaluation.
+TEST_FRACTION = 0.15
+
+#: Seconds of context kept on each side of an evaluation gap.
+GAP_LEAD_S = 900.0
+
+
+@dataclass(frozen=True)
+class Gap:
+    """One evaluation gap: visible endpoints plus hidden ground truth."""
+
+    start: tuple
+    end: tuple
+    truth_lats: np.ndarray
+    truth_lngs: np.ndarray
+    duration_s: float
+    trip_id: int
+
+
+@dataclass(frozen=True)
+class PreparedDataset:
+    """A dataset ready for experiments."""
+
+    name: str
+    scale: float
+    seed: int
+    bundle: DatasetBundle
+    trips: Table
+    train: Table
+    test: Table
+
+    def gaps(self, duration_s, lead_s=GAP_LEAD_S, max_per_trip=1):
+        """Cut ground-truthed gaps of *duration_s* from the test trips.
+
+        A gap starts *lead_s* seconds into a trip and must leave *lead_s*
+        of tail context; trips too short for that are skipped.  The
+        returned :class:`Gap` keeps the hidden span (boundary points
+        included) as truth.
+        """
+        out = []
+        trips = self.test
+        t_all = np.asarray(trips.column(schema.T), dtype=np.float64)
+        lat_all = np.asarray(trips.column(schema.LAT), dtype=np.float64)
+        lng_all = np.asarray(trips.column(schema.LON), dtype=np.float64)
+        trip_ids = np.asarray(trips.column(schema.TRIP_ID), dtype=np.int64)
+        for trip_id in np.unique(trip_ids):
+            rows = np.nonzero(trip_ids == trip_id)[0]
+            order = rows[np.argsort(t_all[rows], kind="stable")]
+            t = t_all[order]
+            if len(t) < 4:
+                continue
+            made = 0
+            cursor = t[0] + lead_s
+            while made < max_per_trip and cursor + duration_s + lead_s <= t[-1]:
+                i = int(np.searchsorted(t, cursor, side="right")) - 1
+                j = int(np.searchsorted(t, cursor + duration_s, side="left"))
+                if i < 1 or j > len(t) - 2 or j - i < 2:
+                    break
+                sel = order[i : j + 1]
+                out.append(
+                    Gap(
+                        start=(float(lat_all[order[i]]), float(lng_all[order[i]])),
+                        end=(float(lat_all[order[j]]), float(lng_all[order[j]])),
+                        truth_lats=lat_all[sel],
+                        truth_lngs=lng_all[sel],
+                        duration_s=float(t[j] - t[i]),
+                        trip_id=int(trip_id),
+                    )
+                )
+                made += 1
+                cursor = t[j] + lead_s
+        return out
+
+
+def _cache_path(cache_dir, name, scale, seed):
+    return Path(cache_dir) / f"{name.lower()}_s{scale:g}_seed{seed}.npz"
+
+
+def _save_tables(path, raw, trips):
+    payload = {f"raw_{k}": v for k, v in raw.to_dict().items()}
+    payload.update({f"trips_{k}": v for k, v in trips.to_dict().items()})
+    np.savez(path, **payload)
+
+
+def _load_tables(path):
+    with np.load(path, allow_pickle=False) as data:
+        raw = Table(
+            {k[len("raw_") :]: data[k] for k in data.files if k.startswith("raw_")}
+        )
+        trips = Table(
+            {k[len("trips_") :]: data[k] for k in data.files if k.startswith("trips_")}
+        )
+    return raw, trips
+
+
+def _split_trips(trips, seed):
+    """Deterministic train/test split by trip id (never by row)."""
+    trip_ids = np.asarray(trips.column(schema.TRIP_ID), dtype=np.int64)
+    unique_ids = np.unique(trip_ids)
+    rng = np.random.default_rng(seed + 7_919)
+    shuffled = rng.permutation(unique_ids)
+    num_test = max(int(round(len(unique_ids) * TEST_FRACTION)), 1)
+    test_ids = set(shuffled[:num_test].tolist())
+    test_mask = np.isin(trip_ids, list(test_ids))
+    return trips.filter(~test_mask), trips.filter(test_mask)
+
+
+def prepare(name, scale=1.0, cache_dir=None, seed=0):
+    """Prepare the named dataset for experiments.
+
+    With *cache_dir*, the generated raw table and segmented trips are
+    cached in one ``.npz`` keyed by ``(name, scale, seed)``; later calls
+    load instead of regenerating.
+    """
+    cache_file = None
+    if cache_dir is not None:
+        cache_file = _cache_path(cache_dir, name, scale, seed)
+    if cache_file is not None and cache_file.exists():
+        raw, trips = _load_tables(cache_file)
+        bundle = DatasetBundle(name=name, table=raw, scale=scale, seed=seed)
+    else:
+        bundle = build_dataset(name, scale=scale, seed=seed)
+        trips = segment_trips(clean_messages(bundle.table))
+        if cache_file is not None:
+            cache_file.parent.mkdir(parents=True, exist_ok=True)
+            _save_tables(cache_file, bundle.table, trips)
+    train, test = _split_trips(trips, seed)
+    return PreparedDataset(
+        name=name,
+        scale=scale,
+        seed=seed,
+        bundle=bundle,
+        trips=trips,
+        train=train,
+        test=test,
+    )

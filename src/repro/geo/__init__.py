@@ -1,0 +1,26 @@
+"""Planar geometry helpers: projection, simplification, turn statistics.
+
+Positions are projected to local equirectangular metres (good to well under
+a percent at trajectory scale) so every routine works in metric units:
+
+- :func:`rdp_simplify` -- Ramer-Douglas-Peucker with a metre tolerance,
+  the paper's post-imputation smoother (Table 3).
+- :func:`vw_simplify` -- Visvalingam-Whyatt by effective triangle area,
+  the ablation alternative.
+- :func:`turn_statistics` -- vertex counts and heading-change profile used
+  to judge simplified paths.
+"""
+
+from repro.geo.proj import bearing_deg, latlng_to_xy_m, path_length_m
+from repro.geo.simplify import rdp_simplify, vw_simplify
+from repro.geo.turns import TurnStatistics, turn_statistics
+
+__all__ = [
+    "TurnStatistics",
+    "bearing_deg",
+    "latlng_to_xy_m",
+    "path_length_m",
+    "rdp_simplify",
+    "turn_statistics",
+    "vw_simplify",
+]

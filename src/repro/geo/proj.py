@@ -1,0 +1,35 @@
+"""Local equirectangular projection and bearings (vectorised)."""
+
+import numpy as np
+
+from repro.hexgrid.cells import M_PER_DEG
+
+__all__ = ["M_PER_DEG", "bearing_deg", "latlng_to_xy_m", "path_length_m"]
+
+
+def latlng_to_xy_m(lats, lngs, lat0=None):
+    """Project to metres on a plane tangent near *lat0* (default: mean lat).
+
+    Adequate for trajectory-scale geometry; all simplifiers and metrics in
+    this package operate on these coordinates.
+    """
+    lats = np.asarray(lats, dtype=np.float64)
+    lngs = np.asarray(lngs, dtype=np.float64)
+    if lat0 is None:
+        lat0 = float(lats.mean()) if lats.size else 0.0
+    x = lngs * M_PER_DEG * np.cos(np.radians(lat0))
+    y = lats * M_PER_DEG
+    return x, y
+
+
+def path_length_m(lats, lngs):
+    """Total polyline length in metres."""
+    x, y = latlng_to_xy_m(lats, lngs)
+    return float(np.hypot(np.diff(x), np.diff(y)).sum())
+
+
+def bearing_deg(lats, lngs):
+    """Bearing of each segment in degrees [0, 360); length ``n - 1``."""
+    x, y = latlng_to_xy_m(lats, lngs)
+    angles = np.degrees(np.arctan2(np.diff(x), np.diff(y)))
+    return np.mod(angles, 360.0)

@@ -1,0 +1,97 @@
+"""Polyline simplification: Ramer-Douglas-Peucker and Visvalingam-Whyatt.
+
+Both keep the endpoints, take metre-denominated thresholds, and return
+``(lats, lngs)`` arrays.  RDP runs an explicit stack with vectorised
+point-to-segment distances per span; VW maintains a heap of effective
+triangle areas over a doubly-linked vertex list.
+"""
+
+import heapq
+
+import numpy as np
+
+from repro.geo.proj import latlng_to_xy_m
+
+__all__ = ["rdp_simplify", "vw_simplify"]
+
+
+def _point_segment_distance(px, py, ax, ay, bx, by):
+    """Distances from points (px, py) to the segment (a, b), vectorised."""
+    dx = bx - ax
+    dy = by - ay
+    seg_len2 = dx * dx + dy * dy
+    if seg_len2 == 0.0:
+        return np.hypot(px - ax, py - ay)
+    t = np.clip(((px - ax) * dx + (py - ay) * dy) / seg_len2, 0.0, 1.0)
+    return np.hypot(px - (ax + t * dx), py - (ay + t * dy))
+
+
+def rdp_simplify(lats, lngs, tolerance_m):
+    """Ramer-Douglas-Peucker simplification with a metre tolerance."""
+    lats = np.asarray(lats, dtype=np.float64)
+    lngs = np.asarray(lngs, dtype=np.float64)
+    n = len(lats)
+    if n <= 2 or tolerance_m <= 0.0:
+        return lats.copy(), lngs.copy()
+    x, y = latlng_to_xy_m(lats, lngs)
+    keep = np.zeros(n, dtype=bool)
+    keep[0] = keep[-1] = True
+    stack = [(0, n - 1)]
+    while stack:
+        i, j = stack.pop()
+        if j - i < 2:
+            continue
+        inner = slice(i + 1, j)
+        dists = _point_segment_distance(
+            x[inner], y[inner], x[i], y[i], x[j], y[j]
+        )
+        k = int(np.argmax(dists))
+        if dists[k] > tolerance_m:
+            split = i + 1 + k
+            keep[split] = True
+            stack.append((i, split))
+            stack.append((split, j))
+    return lats[keep], lngs[keep]
+
+
+def _triangle_area(x, y, i, j, k):
+    return 0.5 * abs(
+        (x[j] - x[i]) * (y[k] - y[i]) - (x[k] - x[i]) * (y[j] - y[i])
+    )
+
+
+def vw_simplify(lats, lngs, min_area_m2):
+    """Visvalingam-Whyatt simplification by effective triangle area (m^2).
+
+    Vertices whose effective area is below *min_area_m2* are removed in
+    increasing order of area; removing a vertex re-scores its neighbours.
+    """
+    lats = np.asarray(lats, dtype=np.float64)
+    lngs = np.asarray(lngs, dtype=np.float64)
+    n = len(lats)
+    if n <= 2 or min_area_m2 <= 0.0:
+        return lats.copy(), lngs.copy()
+    x, y = latlng_to_xy_m(lats, lngs)
+    prev = np.arange(n) - 1
+    nxt = np.arange(n) + 1
+    alive = np.ones(n, dtype=bool)
+    version = np.zeros(n, dtype=np.int64)
+    heap = []
+    for i in range(1, n - 1):
+        heapq.heappush(heap, (_triangle_area(x, y, i - 1, i, i + 1), i, 0))
+    while heap:
+        area, i, ver = heapq.heappop(heap)
+        if not alive[i] or ver != version[i]:
+            continue
+        if area >= min_area_m2:
+            break
+        alive[i] = False
+        p, q = prev[i], nxt[i]
+        nxt[p], prev[q] = q, p
+        for j in (p, q):
+            if 0 < j < n - 1 and alive[j]:
+                version[j] += 1
+                heapq.heappush(
+                    heap, (_triangle_area(x, y, prev[j], j, nxt[j]), j, version[j])
+                )
+    return lats[alive], lngs[alive]

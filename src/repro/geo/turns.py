@@ -1,0 +1,39 @@
+"""Turn statistics over a polyline (Table 3's shape diagnostics)."""
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.geo.proj import bearing_deg
+
+__all__ = ["TurnStatistics", "turn_statistics"]
+
+
+@dataclass(frozen=True)
+class TurnStatistics:
+    """Vertex count and heading-change profile of a path."""
+
+    num_positions: int
+    turns_over_45deg: int
+    mean_abs_turn_deg: float
+    max_abs_turn_deg: float
+    total_abs_turn_deg: float
+
+
+def turn_statistics(lats, lngs):
+    """Per-vertex heading changes, wrapped to [-180, 180] degrees."""
+    lats = np.asarray(lats, dtype=np.float64)
+    n = len(lats)
+    if n < 3:
+        return TurnStatistics(n, 0, 0.0, 0.0, 0.0)
+    bearings = bearing_deg(lats, lngs)
+    turns = np.diff(bearings)
+    turns = np.mod(turns + 180.0, 360.0) - 180.0
+    abs_turns = np.abs(turns)
+    return TurnStatistics(
+        num_positions=n,
+        turns_over_45deg=int(np.count_nonzero(abs_turns > 45.0)),
+        mean_abs_turn_deg=float(abs_turns.mean()),
+        max_abs_turn_deg=float(abs_turns.max()),
+        total_abs_turn_deg=float(abs_turns.sum()),
+    )

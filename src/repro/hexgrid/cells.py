@@ -1,0 +1,180 @@
+"""Axial hex-cell math: packing, indexing, distances and rings.
+
+All bulk entry points accept and return NumPy arrays and never loop in
+Python; the scalar wrappers exist for the A* inner loop where cells are
+touched one at a time.
+"""
+
+import math
+
+import numpy as np
+
+#: Metres per degree of latitude (and of longitude at the equator).
+M_PER_DEG = 111_320.0
+
+#: Resolution-0 hex edge length in metres (H3-like); each finer resolution
+#: divides the edge by sqrt(7) (aperture-7 progression).
+EDGE0_M = 1_107_712.591
+
+_SQRT3 = math.sqrt(3.0)
+_SQRT7 = math.sqrt(7.0)
+
+# int64 cell id layout: | res (4 bits) << 56 | q+OFFSET (28 bits) << 28 | r+OFFSET |
+_OFFSET = 1 << 27
+_FIELD_MASK = (1 << 28) - 1
+_MAX_RES = 15
+
+
+def cell_edge_length_m(resolution):
+    """Hex edge length in metres at *resolution*."""
+    return EDGE0_M / (_SQRT7**resolution)
+
+
+def _check_resolution(resolution):
+    if not 0 <= resolution <= _MAX_RES:
+        raise ValueError(f"resolution must be in [0, {_MAX_RES}], got {resolution}")
+
+
+def _pack(resolution, q, r):
+    """Pack axial coordinates into int64 cell ids (array-safe)."""
+    return (
+        (np.int64(resolution) << 56)
+        | ((q.astype(np.int64) + _OFFSET) << 28)
+        | (r.astype(np.int64) + _OFFSET)
+    )
+
+
+def _unpack(cells):
+    """Inverse of :func:`_pack`; returns ``(resolution, q, r)`` arrays."""
+    cells = np.asarray(cells, dtype=np.int64)
+    res = cells >> 56
+    q = ((cells >> 28) & _FIELD_MASK) - _OFFSET
+    r = (cells & _FIELD_MASK) - _OFFSET
+    return res, q, r
+
+
+def cell_resolution(cell):
+    """Resolution encoded in a cell id (works on scalars and arrays)."""
+    return np.asarray(cell, dtype=np.int64) >> 56
+
+
+def _project(lats, lngs):
+    """Equirectangular forward projection to metres."""
+    lats = np.asarray(lats, dtype=np.float64)
+    lngs = np.asarray(lngs, dtype=np.float64)
+    y = lats * M_PER_DEG
+    x = lngs * M_PER_DEG * np.cos(np.radians(lats))
+    return x, y
+
+
+def _unproject(x, y):
+    """Inverse of :func:`_project`."""
+    lats = y / M_PER_DEG
+    lngs = x / (M_PER_DEG * np.cos(np.radians(lats)))
+    return lats, lngs
+
+
+def _axial_round(qf, rf):
+    """Round fractional axial coordinates to the containing hex (cube round)."""
+    sf = -qf - rf
+    q = np.round(qf)
+    r = np.round(rf)
+    s = np.round(sf)
+    dq = np.abs(q - qf)
+    dr = np.abs(r - rf)
+    ds = np.abs(s - sf)
+    fix_q = (dq > dr) & (dq > ds)
+    fix_r = ~fix_q & (dr > ds)
+    q = np.where(fix_q, -r - s, q)
+    r = np.where(fix_r, -q - s, r)
+    return q.astype(np.int64), r.astype(np.int64)
+
+
+def latlng_to_cell_array(lats, lngs, resolution):
+    """Index positions into hex cells; the bulk kernel behind every fit.
+
+    Returns an ``int64`` array of packed cell ids.
+    """
+    _check_resolution(resolution)
+    size = cell_edge_length_m(resolution)
+    x, y = _project(lats, lngs)
+    qf = (_SQRT3 / 3.0 * x - y / 3.0) / size
+    rf = (2.0 / 3.0 * y) / size
+    q, r = _axial_round(qf, rf)
+    return _pack(resolution, q, r)
+
+
+def latlng_to_cell(lat, lng, resolution):
+    """Scalar version of :func:`latlng_to_cell_array`."""
+    return int(latlng_to_cell_array(np.float64(lat), np.float64(lng), resolution))
+
+
+def cell_to_latlng_array(cells):
+    """Cell centres as ``(lats, lngs)`` arrays."""
+    res, q, r = _unpack(cells)
+    size = EDGE0_M / (_SQRT7 ** res.astype(np.float64))
+    x = size * _SQRT3 * (q + r / 2.0)
+    y = size * 1.5 * r
+    return _unproject(x, y)
+
+
+def cell_to_latlng(cell):
+    """Scalar cell centre as a ``(lat, lng)`` tuple."""
+    lats, lngs = cell_to_latlng_array(np.int64(cell))
+    return float(lats), float(lngs)
+
+
+def grid_distance_array(cells_a, cells_b):
+    """Hex grid distance (number of cell steps) between paired cells.
+
+    Both inputs must share a resolution; broadcasting against a scalar cell
+    is supported (used by the nearest-node full scan).
+    """
+    res_a, qa, ra = _unpack(cells_a)
+    res_b, qb, rb = _unpack(cells_b)
+    if np.any(res_a != res_b):
+        raise ValueError("grid_distance requires cells of equal resolution")
+    dq = qa - qb
+    dr = ra - rb
+    return (np.abs(dq) + np.abs(dr) + np.abs(dq + dr)) // 2
+
+
+def grid_distance(cell_a, cell_b):
+    """Scalar hex grid distance (A* heuristic hot path; no array overhead)."""
+    qa = ((cell_a >> 28) & _FIELD_MASK) - _OFFSET
+    ra = (cell_a & _FIELD_MASK) - _OFFSET
+    qb = ((cell_b >> 28) & _FIELD_MASK) - _OFFSET
+    rb = (cell_b & _FIELD_MASK) - _OFFSET
+    dq = qa - qb
+    dr = ra - rb
+    return (abs(dq) + abs(dr) + abs(dq + dr)) // 2
+
+
+#: Axial neighbour directions, pointy-top orientation.
+_DIRECTIONS = ((1, 0), (1, -1), (0, -1), (-1, 0), (-1, 1), (0, 1))
+
+
+def ring(cell, k):
+    """Cells exactly *k* grid steps from *cell* (the hex ring walk).
+
+    ``ring(cell, 0)`` is ``[cell]``.  Used by endpoint snapping to expand
+    outwards until a graph node is hit.
+    """
+    if k < 0:
+        raise ValueError("ring radius must be non-negative")
+    res = int(cell >> 56)
+    q = ((cell >> 28) & _FIELD_MASK) - _OFFSET
+    r = (cell & _FIELD_MASK) - _OFFSET
+    if k == 0:
+        return [cell]
+    out = []
+    # Start k steps along direction 4 (-1, +1), then walk the six sides.
+    cq, cr = q + _DIRECTIONS[4][0] * k, r + _DIRECTIONS[4][1] * k
+    base = np.int64(res) << 56
+    for side in range(6):
+        dq, dr = _DIRECTIONS[side]
+        for _ in range(k):
+            out.append(int(base | ((cq + _OFFSET) << 28) | (cr + _OFFSET)))
+            cq += dq
+            cr += dr
+    return out

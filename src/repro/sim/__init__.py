@@ -1,0 +1,13 @@
+"""Synthetic AIS data: sea-lane route models and dataset generators.
+
+Real AIS feeds are licensed, so the reproduction ships procedural stand-ins
+for the paper's three study areas.  :mod:`repro.sim.routes` defines fixed
+sea-lane waypoint models per area; :mod:`repro.sim.datasets` samples
+vessels along them with realistic speeds, lateral corridor noise, and AIS
+report cadence.  Generation is deterministic in ``(name, scale, seed)``.
+"""
+
+from repro.sim.datasets import DatasetBundle, build_dataset
+from repro.sim.routes import DATASETS, RouteModel
+
+__all__ = ["DATASETS", "DatasetBundle", "RouteModel", "build_dataset"]

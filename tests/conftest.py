@@ -1,0 +1,22 @@
+"""Shared unit-test fixtures: one tiny prepared dataset per session."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import common
+
+
+@pytest.fixture(scope="session")
+def tiny_cache(tmp_path_factory):
+    return str(tmp_path_factory.mktemp("tiny_data"))
+
+
+@pytest.fixture(scope="session")
+def tiny_kiel(tiny_cache):
+    """A miniature KIEL dataset shared by the integration-flavoured tests."""
+    return common.prepare("KIEL", scale=0.02, cache_dir=tiny_cache)
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(7)

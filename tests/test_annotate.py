@@ -1,0 +1,86 @@
+"""annotate_events / compress_trajectory behaviour."""
+
+import numpy as np
+
+from repro.ais import schema
+from repro.core import annotate_events, compress_trajectory
+from repro.core.annotate import EVENT_COLUMNS
+from repro.minidb import Table
+
+
+def _trips(t, sog, cog, gap_at=None):
+    n = len(t)
+    return Table(
+        {
+            schema.VESSEL_ID: np.full(n, 1, dtype=np.int64),
+            schema.T: np.asarray(t, dtype=np.float64),
+            schema.LAT: 55.0 + np.arange(n) * 1e-3,
+            schema.LON: np.full(n, 10.0),
+            schema.SOG: np.asarray(sog, dtype=np.float64),
+            schema.COG: np.asarray(cog, dtype=np.float64),
+            schema.VESSEL_TYPE: np.full(n, "cargo", dtype="U16"),
+            schema.TRIP_ID: np.zeros(n, dtype=np.int64),
+        }
+    )
+
+
+def test_annotate_adds_all_event_columns():
+    trips = _trips([0.0, 30.0, 60.0], [8.0, 8.0, 8.0], [0.0, 0.0, 0.0])
+    annotated = annotate_events(trips)
+    for column in EVENT_COLUMNS:
+        assert column in annotated
+        assert annotated.column(column).dtype == bool
+
+
+def test_annotate_empty_table():
+    empty = _trips([], [], [])
+    annotated = annotate_events(empty)
+    assert annotated.num_rows == 0
+    for column in EVENT_COLUMNS:
+        assert column in annotated
+
+
+def test_turn_and_speed_events():
+    trips = _trips(
+        t=[0.0, 30.0, 60.0, 90.0],
+        sog=[8.0, 8.0, 2.5, 8.0],
+        cog=[10.0, 50.0, 50.0, 50.0],  # 40 degree turn at row 1
+    )
+    annotated = annotate_events(trips, turn_deg=15.0, speed_change_kn=2.0)
+    assert annotated.column("ev_turn")[1]
+    assert not annotated.column("ev_turn")[2]
+    assert annotated.column("ev_speed_change")[2]
+
+
+def test_cog_wraparound_not_a_turn():
+    trips = _trips(
+        t=[0.0, 30.0], sog=[8.0, 8.0], cog=[359.0, 1.0]  # 2 degrees, not 358
+    )
+    annotated = annotate_events(trips, turn_deg=15.0)
+    assert not annotated.column("ev_turn")[1]
+
+
+def test_gap_event():
+    trips = _trips(t=[0.0, 30.0, 1000.0], sog=[8.0] * 3, cog=[0.0] * 3)
+    annotated = annotate_events(trips, gap_s=600.0)
+    assert np.array_equal(annotated.column("ev_gap_before"), [False, False, True])
+
+
+def test_compress_keeps_endpoints_and_events():
+    n = 50
+    sog = np.full(n, 8.0)
+    cog = np.zeros(n)
+    cog[25:] = 90.0  # one hard turn mid-trip
+    trips = _trips(np.arange(n) * 30.0, sog, cog)
+    compressed = compress_trajectory(annotate_events(trips))
+    t = compressed.column(schema.T)
+    assert t[0] == 0.0 and t[-1] == (n - 1) * 30.0
+    assert compressed.num_rows < n
+    assert 25 * 30.0 in t.tolist()  # the turn row survived
+
+
+def test_compress_preserves_every_trip(tiny_kiel):
+    compressed = compress_trajectory(annotate_events(tiny_kiel.train))
+    raw_trips = set(np.unique(tiny_kiel.train.column(schema.TRIP_ID)).tolist())
+    kept = set(np.unique(compressed.column(schema.TRIP_ID)).tolist())
+    assert kept == raw_trips

@@ -1,0 +1,144 @@
+"""clean_messages / segment_trips edge cases and invariants."""
+
+import numpy as np
+import pytest
+
+from repro.ais import schema
+from repro.core import clean_messages, segment_trips
+from repro.minidb import Table
+
+
+def _raw(vessel, t, lat, lon, sog=None, cog=None):
+    n = len(t)
+    return Table(
+        {
+            schema.VESSEL_ID: np.asarray(vessel, dtype=np.int64),
+            schema.T: np.asarray(t, dtype=np.float64),
+            schema.LAT: np.asarray(lat, dtype=np.float64),
+            schema.LON: np.asarray(lon, dtype=np.float64),
+            schema.SOG: np.asarray(sog if sog is not None else np.full(n, 8.0)),
+            schema.COG: np.asarray(cog if cog is not None else np.zeros(n)),
+            schema.VESSEL_TYPE: np.full(n, "cargo", dtype="U16"),
+        }
+    )
+
+
+def test_clean_empty_table():
+    empty = _raw([], [], [], [])
+    assert clean_messages(empty).num_rows == 0
+
+
+def test_clean_drops_invalid_rows():
+    table = _raw(
+        vessel=[1, 1, 1, 1, 1, 1],
+        t=[0.0, 30.0, 60.0, 90.0, 120.0, np.nan],
+        lat=[55.0, 99.0, 55.0, np.nan, 55.0, 55.0],
+        lon=[10.0, 10.0, 400.0, 10.0, 10.0, 10.0],
+        sog=[5.0, 5.0, 5.0, 5.0, -3.0, 5.0],
+    )
+    cleaned = clean_messages(table)
+    assert cleaned.num_rows == 1
+    assert cleaned.column(schema.T)[0] == 0.0
+
+
+def test_clean_dedupes_and_sorts():
+    table = _raw(
+        vessel=[2, 1, 1, 1],
+        t=[10.0, 30.0, 10.0, 30.0],
+        lat=[55.0, 55.1, 55.2, 55.3],
+        lon=[10.0, 10.1, 10.2, 10.3],
+    )
+    cleaned = clean_messages(table)
+    assert cleaned.num_rows == 3  # duplicate (1, 30.0) dropped
+    assert np.array_equal(cleaned.column(schema.VESSEL_ID), [1, 1, 2])
+    assert np.array_equal(cleaned.column(schema.T), [10.0, 30.0, 10.0])
+
+
+def test_segment_empty_table():
+    segmented = segment_trips(_raw([], [], [], []))
+    assert segmented.num_rows == 0
+    assert schema.TRIP_ID in segmented
+
+
+def test_segment_single_point_dropped():
+    table = _raw([1], [0.0], [55.0], [10.0])
+    assert segment_trips(table).num_rows == 0
+    assert segment_trips(table, min_points=1).num_rows == 1
+
+
+def test_segment_out_of_order_timestamps():
+    table = _raw(
+        vessel=[1, 1, 1],
+        t=[60.0, 0.0, 30.0],
+        lat=[55.002, 55.000, 55.001],
+        lon=[10.0, 10.0, 10.0],
+    )
+    segmented = segment_trips(table)
+    assert segmented.num_rows == 3
+    assert np.all(np.diff(segmented.column(schema.T)) > 0)
+    assert len(np.unique(segmented.column(schema.TRIP_ID))) == 1
+
+
+def test_segment_splits_on_time_gap():
+    table = _raw(
+        vessel=[1, 1, 1, 1],
+        t=[0.0, 30.0, 10_000.0, 10_030.0],
+        lat=[55.0, 55.001, 55.002, 55.003],
+        lon=[10.0, 10.0, 10.0, 10.0],
+    )
+    segmented = segment_trips(table, max_gap_s=1800.0)
+    trips = segmented.column(schema.TRIP_ID)
+    assert len(np.unique(trips)) == 2
+    assert trips[0] == trips[1]
+    assert trips[2] == trips[3]
+
+
+def test_segment_splits_on_position_jump():
+    table = _raw(
+        vessel=[1, 1, 1, 1],
+        t=[0.0, 30.0, 60.0, 90.0],
+        lat=[55.0, 55.001, 56.0, 56.001],  # ~110 km teleport
+        lon=[10.0, 10.0, 10.0, 10.0],
+    )
+    segmented = segment_trips(table, max_jump_m=5000.0)
+    assert len(np.unique(segmented.column(schema.TRIP_ID))) == 2
+
+
+def test_segment_separates_vessels():
+    table = _raw(
+        vessel=[1, 2, 1, 2],
+        t=[0.0, 0.0, 30.0, 30.0],
+        lat=[55.0, 56.0, 55.001, 56.001],
+        lon=[10.0, 11.0, 10.0, 11.0],
+    )
+    segmented = segment_trips(table)
+    by_trip = {}
+    for trip, vessel in zip(
+        segmented.column(schema.TRIP_ID), segmented.column(schema.VESSEL_ID)
+    ):
+        by_trip.setdefault(int(trip), set()).add(int(vessel))
+    assert all(len(vessels) == 1 for vessels in by_trip.values())
+
+
+def test_trip_ids_unique_and_dense():
+    table = _raw(
+        vessel=[1, 1, 2, 2],
+        t=[0.0, 30.0, 0.0, 30.0],
+        lat=[55.0, 55.001, 56.0, 56.001],
+        lon=[10.0, 10.0, 11.0, 11.0],
+    )
+    trips = np.unique(segment_trips(table).column(schema.TRIP_ID))
+    assert np.array_equal(trips, np.arange(len(trips)))
+
+
+@pytest.mark.parametrize("min_points", [2, 3])
+def test_min_points_filter(min_points):
+    table = _raw(
+        vessel=[1, 1, 2, 2, 2],
+        t=[0.0, 30.0, 0.0, 30.0, 60.0],
+        lat=[55.0, 55.001, 56.0, 56.001, 56.002],
+        lon=[10.0] * 5,
+    )
+    segmented = segment_trips(table, min_points=min_points)
+    counts = np.bincount(segmented.column(schema.TRIP_ID))
+    assert np.all(counts[counts > 0] >= min_points)

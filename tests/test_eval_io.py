@@ -1,0 +1,63 @@
+"""Evaluation harness and GeoJSON export."""
+
+import json
+
+import numpy as np
+
+from repro.baselines import StraightLineImputer
+from repro.eval import evaluate_imputer
+from repro.experiments.common import Gap
+from repro.io import feature_collection, linestring_feature, point_feature, write_geojson
+
+
+def _fake_gaps(n=3):
+    gaps = []
+    for i in range(n):
+        lats = 55.0 + i * 0.01 + np.linspace(0.0, 0.02, 9)
+        lngs = 10.0 + np.linspace(0.0, 0.03, 9)
+        gaps.append(
+            Gap(
+                start=(float(lats[0]), float(lngs[0])),
+                end=(float(lats[-1]), float(lngs[-1])),
+                truth_lats=lats,
+                truth_lngs=lngs,
+                duration_s=3600.0,
+                trip_id=i,
+            )
+        )
+    return gaps
+
+
+def test_evaluate_imputer_aggregates():
+    gaps = _fake_gaps()
+    result = evaluate_imputer(StraightLineImputer(), gaps, "SLI")
+    assert result.name == "SLI"
+    assert result.num_gaps == 3
+    assert len(result.dtw_m) == 3
+    assert np.all(np.isfinite(result.dtw_m))
+    assert result.mean_dtw_m >= 0.0
+    assert result.mean_latency_s >= 0.0
+    assert result.storage_bytes == 0
+    assert result.fallback_rate == 0.0
+
+
+def test_evaluate_without_storage():
+    result = evaluate_imputer(
+        StraightLineImputer(), _fake_gaps(1), "SLI", measure_storage=False
+    )
+    assert result.storage_bytes is None
+
+
+def test_geojson_shapes(tmp_path):
+    line = linestring_feature([55.0, 55.1], [10.0, 10.1], {"name": "truth"})
+    assert line["geometry"]["type"] == "LineString"
+    # GeoJSON is [lng, lat] ordered.
+    assert line["geometry"]["coordinates"][0] == [10.0, 55.0]
+    point = point_feature(55.0, 10.0, {"kind": "endpoint"})
+    assert point["geometry"]["coordinates"] == [10.0, 55.0]
+    collection = feature_collection([line, point])
+    assert collection["type"] == "FeatureCollection"
+    path = write_geojson(collection, tmp_path / "case.geojson")
+    assert path.exists()
+    loaded = json.loads(path.read_text())
+    assert loaded["features"][0]["properties"]["name"] == "truth"

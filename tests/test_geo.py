@@ -1,0 +1,107 @@
+"""geo: simplifiers, turn statistics, projection sanity."""
+
+import numpy as np
+import pytest
+
+from repro.geo import (
+    path_length_m,
+    rdp_simplify,
+    turn_statistics,
+    vw_simplify,
+)
+
+
+@pytest.fixture()
+def zigzag():
+    # A 10-point path with one sharp spike in the middle.
+    lats = np.full(10, 55.0)
+    lngs = 10.0 + np.arange(10) * 0.01
+    lats[5] += 0.05  # ~5.5 km spike
+    return lats, lngs
+
+
+def test_rdp_keeps_endpoints_and_spike(zigzag):
+    lats, lngs = zigzag
+    out_lat, out_lng = rdp_simplify(lats, lngs, 200.0)
+    assert out_lat[0] == lats[0] and out_lat[-1] == lats[-1]
+    assert lats[5] in out_lat  # spike far above tolerance survives
+    assert len(out_lat) < len(lats)
+
+
+def test_rdp_collinear_collapses_to_two_points():
+    lats = np.full(20, 55.0)
+    lngs = 10.0 + np.arange(20) * 0.01
+    out_lat, out_lng = rdp_simplify(lats, lngs, 10.0)
+    assert len(out_lat) == 2
+
+
+def test_rdp_zero_tolerance_is_identity(zigzag):
+    lats, lngs = zigzag
+    out_lat, out_lng = rdp_simplify(lats, lngs, 0.0)
+    assert np.array_equal(out_lat, lats)
+    assert np.array_equal(out_lng, lngs)
+
+
+def test_rdp_removed_points_stay_within_tolerance(rng):
+    lats = 55.0 + np.cumsum(rng.normal(0, 0.001, 200))
+    lngs = 10.0 + np.cumsum(rng.normal(0, 0.001, 200))
+    tolerance = 150.0
+    out_lat, out_lng = rdp_simplify(lats, lngs, tolerance)
+    # Every original point must lie within tolerance of the simplified path.
+    from repro.geo.proj import latlng_to_xy_m
+    from repro.geo.simplify import _point_segment_distance
+
+    x, y = latlng_to_xy_m(lats, lngs, lat0=55.0)
+    sx, sy = latlng_to_xy_m(out_lat, out_lng, lat0=55.0)
+    for px, py in zip(x, y):
+        best = min(
+            float(
+                _point_segment_distance(
+                    np.asarray([px]), np.asarray([py]), sx[i], sy[i], sx[i + 1], sy[i + 1]
+                )[0]
+            )
+            for i in range(len(sx) - 1)
+        )
+        assert best <= tolerance + 1e-6
+
+
+def test_vw_collinear_collapses(zigzag):
+    lats = np.full(20, 55.0)
+    lngs = 10.0 + np.arange(20) * 0.01
+    out_lat, _ = vw_simplify(lats, lngs, 1000.0)
+    assert len(out_lat) == 2
+
+
+def test_vw_keeps_large_features(zigzag):
+    lats, lngs = zigzag
+    out_lat, _ = vw_simplify(lats, lngs, 10_000.0)
+    assert lats[5] in out_lat
+    assert out_lat[0] == lats[0] and out_lat[-1] == lats[-1]
+
+
+def test_turn_statistics_straight_line():
+    lats = np.full(10, 55.0)
+    lngs = 10.0 + np.arange(10) * 0.01
+    stats = turn_statistics(lats, lngs)
+    assert stats.num_positions == 10
+    assert stats.turns_over_45deg == 0
+    assert stats.max_abs_turn_deg == pytest.approx(0.0, abs=1e-9)
+
+
+def test_turn_statistics_right_angle():
+    lats = np.array([55.0, 55.0, 55.01])
+    lngs = np.array([10.0, 10.01, 10.01])
+    stats = turn_statistics(lats, lngs)
+    assert stats.turns_over_45deg == 1
+    assert stats.max_abs_turn_deg == pytest.approx(90.0, abs=1.0)
+
+
+def test_turn_statistics_tiny_paths():
+    assert turn_statistics([55.0], [10.0]).num_positions == 1
+    assert turn_statistics([55.0, 55.1], [10.0, 10.1]).turns_over_45deg == 0
+
+
+def test_path_length():
+    lats = np.array([55.0, 55.0])
+    lngs = np.array([10.0, 10.0 + 1.0 / np.cos(np.radians(55.0)) / 111_320.0 * 1000.0])
+    assert path_length_m(lats, lngs) == pytest.approx(1000.0, rel=1e-3)

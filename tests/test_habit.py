@@ -1,0 +1,109 @@
+"""HABIT end-to-end: fit, impute, persist, and the typed variant."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import StraightLineImputer
+from repro.core import HabitConfig, HabitImputer, TypedHabitImputer
+from repro.eval import evaluate_imputer
+from repro.eval.metrics import dtw_distance_m
+
+
+@pytest.fixture(scope="module")
+def fitted(tiny_kiel):
+    return HabitImputer(
+        HabitConfig(resolution=9, tolerance_m=100.0)
+    ).fit_from_trips(tiny_kiel.train)
+
+
+@pytest.fixture(scope="module")
+def gap(tiny_kiel):
+    gaps = tiny_kiel.gaps(3600.0)
+    assert gaps, "tiny dataset must yield at least one 1-hour gap"
+    return gaps[0]
+
+
+def test_fit_builds_graph(fitted):
+    assert fitted.graph.num_nodes > 10
+    assert fitted.graph.num_edges > 10
+    assert fitted.storage_size_bytes() > 0
+
+
+def test_impute_smoke(fitted, gap):
+    result = fitted.impute(gap.start, gap.end)
+    assert result.num_points >= 2
+    assert result.lats[0] == pytest.approx(gap.start[0])
+    assert result.lngs[0] == pytest.approx(gap.start[1])
+    assert result.lats[-1] == pytest.approx(gap.end[0])
+    assert result.lngs[-1] == pytest.approx(gap.end[1])
+    assert np.all(np.isfinite(result.lats)) and np.all(np.isfinite(result.lngs))
+
+
+def test_habit_beats_straight_line_on_average(fitted, tiny_kiel):
+    gaps = tiny_kiel.gaps(3600.0)
+    habit = evaluate_imputer(fitted, gaps, "HABIT", measure_storage=False)
+    sli = evaluate_imputer(StraightLineImputer(), gaps, "SLI", measure_storage=False)
+    assert habit.mean_dtw_m < sli.mean_dtw_m
+
+
+def test_unfitted_imputer_raises(gap):
+    with pytest.raises(RuntimeError):
+        HabitImputer().impute(gap.start, gap.end)
+
+
+def test_projection_modes_differ(tiny_kiel, gap):
+    center = HabitImputer(
+        HabitConfig(resolution=9, projection="center")
+    ).fit_from_trips(tiny_kiel.train)
+    median = HabitImputer(
+        HabitConfig(resolution=9, projection="median")
+    ).fit_from_trips(tiny_kiel.train)
+    r_center = center.impute(gap.start, gap.end)
+    r_median = median.impute(gap.start, gap.end)
+    assert r_center.num_points >= 2 and r_median.num_points >= 2
+
+
+def test_dijkstra_equals_astar_cost(fitted, gap):
+    with_h = fitted.impute(gap.start, gap.end, use_heuristic=True)
+    without = fitted.impute(gap.start, gap.end, use_heuristic=False)
+    dtw = dtw_distance_m(with_h.lats, with_h.lngs, without.lats, without.lngs)
+    assert dtw == pytest.approx(0.0, abs=1e-6)
+
+
+def test_save_load_round_trip(fitted, gap, tmp_path):
+    path = tmp_path / "model.npz"
+    fitted.save(path)
+    assert path.exists() and path.stat().st_size > 0
+    restored = HabitImputer.load(path)
+    a = fitted.impute(gap.start, gap.end)
+    b = restored.impute(gap.start, gap.end)
+    assert np.allclose(a.lats, b.lats) and np.allclose(a.lngs, b.lngs)
+
+
+def test_save_without_suffix_returns_real_file(fitted, gap, tmp_path):
+    # np.savez appends .npz; the returned path must name the written file.
+    written = fitted.save(tmp_path / "model")
+    assert written.exists()
+    restored = HabitImputer.load(written)
+    assert restored.graph.num_nodes == fitted.graph.num_nodes
+
+
+def test_fallback_when_endpoints_far_from_graph(fitted):
+    # Endpoints on the other side of the planet: snapping still finds
+    # nodes, but if no path exists the imputer degrades gracefully.
+    result = fitted.impute((10.0, -40.0), (11.0, -41.0))
+    assert result.num_points >= 2
+    assert np.all(np.isfinite(result.lats))
+
+
+def test_typed_imputer(tiny_kiel, gap):
+    typed = TypedHabitImputer(
+        HabitConfig(resolution=9), min_group_rows=100
+    ).fit_from_trips(tiny_kiel.train)
+    assert typed.fitted_groups  # at least one class got its own graph
+    known = typed.impute(gap.start, gap.end, typed.fitted_groups[0])
+    unknown = typed.impute(gap.start, gap.end, "submarine")
+    untyped = typed.impute(gap.start, gap.end)
+    assert known.num_points >= 2 and unknown.num_points >= 2
+    assert untyped.num_points >= 2
+    assert typed.storage_size_bytes() > typed.fallback.storage_size_bytes()

@@ -1,0 +1,91 @@
+"""Hexgrid: packing round-trips, distances, rings, scalar/array parity."""
+
+import numpy as np
+import pytest
+
+from repro.hexgrid import (
+    cell_edge_length_m,
+    cell_resolution,
+    cell_to_latlng,
+    cell_to_latlng_array,
+    grid_distance,
+    grid_distance_array,
+    latlng_to_cell,
+    latlng_to_cell_array,
+    ring,
+)
+
+
+def test_center_round_trip():
+    cell = latlng_to_cell(55.5, 10.5, 9)
+    lat, lng = cell_to_latlng(cell)
+    assert latlng_to_cell(lat, lng, 9) == cell
+
+
+def test_round_trip_bulk(rng):
+    lats = rng.uniform(-60.0, 70.0, 5000)
+    lngs = rng.uniform(-170.0, 170.0, 5000)
+    for resolution in (6, 9, 11):
+        cells = latlng_to_cell_array(lats, lngs, resolution)
+        clat, clng = cell_to_latlng_array(cells)
+        again = latlng_to_cell_array(clat, clng, resolution)
+        assert np.array_equal(cells, again)
+        assert np.all(cell_resolution(cells) == resolution)
+
+
+def test_cell_center_is_close():
+    lat, lng = 56.0, 11.0
+    for resolution in (7, 9, 10):
+        cell = latlng_to_cell(lat, lng, resolution)
+        clat, clng = cell_to_latlng(cell)
+        # Centre within one circumradius (= edge length) of the query point.
+        dy = (clat - lat) * 111_320.0
+        dx = (clng - lng) * 111_320.0 * np.cos(np.radians(lat))
+        assert np.hypot(dx, dy) <= cell_edge_length_m(resolution) + 1e-6
+
+
+def test_scalar_array_parity(rng):
+    lats = rng.uniform(54.0, 58.0, 100)
+    lngs = rng.uniform(8.0, 13.0, 100)
+    cells = latlng_to_cell_array(lats, lngs, 9)
+    for i in range(0, 100, 17):
+        assert latlng_to_cell(lats[i], lngs[i], 9) == cells[i]
+    pair_d = grid_distance_array(cells[:-1], cells[1:])
+    for i in range(0, 99, 13):
+        assert grid_distance(int(cells[i]), int(cells[i + 1])) == pair_d[i]
+
+
+def test_grid_distance_metric_properties(rng):
+    lats = rng.uniform(54.0, 55.0, 60)
+    lngs = rng.uniform(10.0, 11.0, 60)
+    c = latlng_to_cell_array(lats, lngs, 8)
+    a, b, m = c[:20], c[20:40], c[40:60]
+    d_ab = grid_distance_array(a, b)
+    assert np.array_equal(d_ab, grid_distance_array(b, a))  # symmetry
+    assert np.all(grid_distance_array(a, a) == 0)  # identity
+    # triangle inequality through an arbitrary midpoint
+    assert np.all(d_ab <= grid_distance_array(a, m) + grid_distance_array(m, b))
+
+
+def test_grid_distance_rejects_mixed_resolution():
+    a = np.asarray([latlng_to_cell(55.0, 10.0, 8)])
+    b = np.asarray([latlng_to_cell(55.0, 10.0, 9)])
+    with pytest.raises(ValueError):
+        grid_distance_array(a, b)
+
+
+def test_ring_sizes_and_distances():
+    cell = latlng_to_cell(55.0, 10.0, 9)
+    assert ring(cell, 0) == [cell]
+    for k in (1, 2, 5):
+        cells = ring(cell, k)
+        assert len(cells) == 6 * k
+        assert len(set(cells)) == 6 * k
+        assert all(grid_distance(cell, c) == k for c in cells)
+
+
+def test_neighbors_are_adjacent():
+    cell = latlng_to_cell(55.0, 10.0, 9)
+    for neighbour in ring(cell, 1):
+        lat, lng = cell_to_latlng(neighbour)
+        assert latlng_to_cell(lat, lng, 9) == neighbour

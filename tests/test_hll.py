@@ -1,0 +1,64 @@
+"""HyperLogLog: cardinality accuracy, merging, grouped estimates."""
+
+import numpy as np
+
+from repro.minidb import Table, agg
+from repro.minidb.hll import HyperLogLog, grouped_approx_count_distinct
+
+
+def test_cardinality_within_error(rng):
+    values = rng.integers(0, 500_000, 200_000)
+    true = len(np.unique(values))
+    sketch = HyperLogLog()
+    sketch.add_array(values)
+    estimate = sketch.cardinality()
+    assert abs(estimate - true) / true < 0.05  # p=12 => ~1.6% std error
+
+
+def test_small_cardinality_nearly_exact(rng):
+    values = rng.integers(0, 50, 10_000)
+    sketch = HyperLogLog()
+    sketch.add_array(values)
+    assert abs(sketch.cardinality() - 50) <= 2
+
+
+def test_incremental_add_matches_bulk(rng):
+    values = rng.integers(0, 1000, 200)
+    bulk = HyperLogLog().add_array(values)
+    one_by_one = HyperLogLog()
+    for v in values:
+        one_by_one.add(int(v))
+    assert bulk.cardinality() == one_by_one.cardinality()
+
+
+def test_merge_equals_union(rng):
+    a_values = rng.integers(0, 10_000, 30_000)
+    b_values = rng.integers(5_000, 15_000, 30_000)
+    a = HyperLogLog().add_array(a_values)
+    b = HyperLogLog().add_array(b_values)
+    union = HyperLogLog().add_array(np.concatenate([a_values, b_values]))
+    a.merge(b)
+    assert a.cardinality() == union.cardinality()
+
+
+def test_grouped_estimates_track_truth(rng):
+    n = 100_000
+    codes = rng.integers(0, 50, n)
+    values = rng.integers(0, 2_000, n)
+    estimates = grouped_approx_count_distinct(codes, 50, values)
+    for group in range(0, 50, 7):
+        true = len(np.unique(values[codes == group]))
+        assert abs(estimates[group] - true) / true < 0.1
+
+
+def test_agg_approx_vs_exact(rng):
+    n = 50_000
+    table = Table(
+        {"k": rng.integers(0, 20, n), "v": rng.integers(0, 5_000, n)}
+    )
+    result = table.group_by("k").agg(
+        agg.count_distinct("v").alias("exact"),
+        agg.approx_count_distinct("v").alias("approx"),
+    )
+    relative = np.abs(result["approx"] - result["exact"]) / result["exact"]
+    assert relative.max() < 0.1

@@ -1,0 +1,52 @@
+"""DTW metric: reference implementation parity and basic properties."""
+
+import numpy as np
+import pytest
+
+from repro.eval.metrics import dtw_distance_m
+from repro.geo.proj import latlng_to_xy_m
+
+
+def _dtw_reference(lats_a, lngs_a, lats_b, lngs_b):
+    """Naive O(n*m) DTW used as the oracle."""
+    lat0 = (np.mean(lats_a) + np.mean(lats_b)) / 2.0
+    xa, ya = latlng_to_xy_m(lats_a, lngs_a, lat0=lat0)
+    xb, yb = latlng_to_xy_m(lats_b, lngs_b, lat0=lat0)
+    n, m = len(xa), len(xb)
+    dp = np.full((n + 1, m + 1), np.inf)
+    dp[0, 0] = 0.0
+    for i in range(1, n + 1):
+        for j in range(1, m + 1):
+            cost = float(np.hypot(xa[i - 1] - xb[j - 1], ya[i - 1] - yb[j - 1]))
+            dp[i, j] = cost + min(dp[i - 1, j], dp[i, j - 1], dp[i - 1, j - 1])
+    return float(dp[n, m])
+
+
+def test_identical_paths_zero():
+    lats = 55.0 + np.linspace(0, 0.1, 20)
+    lngs = 10.0 + np.linspace(0, 0.1, 20)
+    assert dtw_distance_m(lats, lngs, lats, lngs) == pytest.approx(0.0, abs=1e-6)
+
+
+@pytest.mark.parametrize("n,m", [(1, 1), (1, 5), (5, 1), (7, 7), (13, 9), (30, 41)])
+def test_matches_reference(rng, n, m):
+    lats_a = 55.0 + np.cumsum(rng.normal(0, 0.002, n))
+    lngs_a = 10.0 + np.cumsum(rng.normal(0, 0.002, n))
+    lats_b = 55.0 + np.cumsum(rng.normal(0, 0.002, m))
+    lngs_b = 10.0 + np.cumsum(rng.normal(0, 0.002, m))
+    fast = dtw_distance_m(lats_a, lngs_a, lats_b, lngs_b)
+    slow = _dtw_reference(lats_a, lngs_a, lats_b, lngs_b)
+    assert fast == pytest.approx(slow, rel=1e-9)
+
+
+def test_translation_increases_distance(rng):
+    lats = 55.0 + np.cumsum(rng.normal(0, 0.002, 50))
+    lngs = 10.0 + np.cumsum(rng.normal(0, 0.002, 50))
+    near = dtw_distance_m(lats, lngs, lats + 1e-4, lngs)
+    far = dtw_distance_m(lats, lngs, lats + 1e-2, lngs)
+    assert far > near > 0
+
+
+def test_empty_path_rejected():
+    with pytest.raises(ValueError):
+        dtw_distance_m([], [], [55.0], [10.0])

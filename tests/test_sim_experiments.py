@@ -1,0 +1,67 @@
+"""Dataset generation and experiment preparation."""
+
+import numpy as np
+
+from repro.ais import schema
+from repro.experiments import common
+from repro.sim.datasets import build_dataset
+
+
+def test_build_dataset_deterministic():
+    a = build_dataset("KIEL", scale=0.01, seed=3)
+    b = build_dataset("KIEL", scale=0.01, seed=3)
+    assert a.num_positions == b.num_positions
+    assert np.array_equal(a.table.column(schema.LAT), b.table.column(schema.LAT))
+    c = build_dataset("KIEL", scale=0.01, seed=4)
+    assert not np.array_equal(a.table.column(schema.LAT), c.table.column(schema.LAT))
+
+
+def test_build_dataset_schema_and_ranges():
+    bundle = build_dataset("SAR", scale=0.005, seed=0)
+    table = bundle.table
+    for column in schema.RAW_COLUMNS:
+        assert column in table
+    assert bundle.num_positions == table.num_rows > 0
+    assert np.all(np.abs(table.column(schema.LAT)) <= 90.0)
+    assert np.all(np.abs(table.column(schema.LON)) <= 180.0)
+    assert np.all(table.column(schema.SOG) >= 0.0)
+    cog = table.column(schema.COG)
+    assert np.all((cog >= 0.0) & (cog < 360.0))
+
+
+def test_scale_grows_dataset():
+    small = build_dataset("DAN", scale=0.005, seed=0)
+    large = build_dataset("DAN", scale=0.02, seed=0)
+    assert large.num_positions > small.num_positions
+
+
+def test_prepare_split_is_by_trip(tiny_kiel):
+    train_trips = set(np.unique(tiny_kiel.train.column(schema.TRIP_ID)).tolist())
+    test_trips = set(np.unique(tiny_kiel.test.column(schema.TRIP_ID)).tolist())
+    assert train_trips and test_trips
+    assert not train_trips & test_trips
+
+
+def test_prepare_cache_round_trip(tmp_path):
+    first = common.prepare("KIEL", scale=0.01, cache_dir=str(tmp_path), seed=1)
+    cached = common.prepare("KIEL", scale=0.01, cache_dir=str(tmp_path), seed=1)
+    assert first.trips.num_rows == cached.trips.num_rows
+    assert np.array_equal(
+        first.train.column(schema.T), cached.train.column(schema.T)
+    )
+    assert any(tmp_path.iterdir())  # the cache file landed on disk
+
+
+def test_gaps_have_truth_and_context(tiny_kiel):
+    gaps = tiny_kiel.gaps(3600.0)
+    assert gaps
+    for gap in gaps:
+        assert len(gap.truth_lats) >= 3
+        assert gap.duration_s >= 3600.0 * 0.9
+        # Endpoints are the boundary truth points.
+        assert gap.start == (gap.truth_lats[0], gap.truth_lngs[0])
+        assert gap.end == (gap.truth_lats[-1], gap.truth_lngs[-1])
+
+
+def test_longer_gaps_are_scarcer(tiny_kiel):
+    assert len(tiny_kiel.gaps(7200.0)) <= len(tiny_kiel.gaps(3600.0))
