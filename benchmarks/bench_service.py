@@ -1,0 +1,121 @@
+"""Service-layer benchmark: registry cold start vs warm-cache throughput.
+
+Cold start is the full fit-once path (empty registry directory, the
+first request pays fit-and-save through the registry's fit-on-miss
+callback); disk load resolves a published model from ``.npz``; warm
+serves from the in-memory LRU.  The reproduction target is the serving
+story: warm-cache throughput must be at least 10x cold start, which is
+what makes fit-once/serve-many worth a registry at all.
+"""
+
+import itertools
+import time
+
+import pytest
+
+from repro.core import HabitImputer
+from repro.service import BatchImputationEngine, GapRequest, ModelRegistry
+
+
+def _requests(gaps, n):
+    return [
+        GapRequest(
+            dataset="KIEL",
+            start=gaps[i % len(gaps)].start,
+            end=gaps[i % len(gaps)].end,
+            request_id=f"r{i}",
+        )
+        for i in range(n)
+    ]
+
+
+@pytest.fixture(scope="module")
+def train_fitter(kiel):
+    return lambda dataset, config: HabitImputer(config).fit_from_trips(kiel.train)
+
+
+@pytest.fixture(scope="module")
+def warm_engine(habit_r9, tmp_path_factory):
+    registry = ModelRegistry(tmp_path_factory.mktemp("svc_warm"))
+    registry.publish("KIEL", habit_r9)
+    return BatchImputationEngine(registry, max_workers=4), habit_r9.config
+
+
+@pytest.mark.benchmark(group="service-cache")
+def test_cold_start_request(benchmark, train_fitter, habit_r9, kiel_gaps, tmp_path):
+    """One request against an empty registry: pays fit-and-save."""
+    counter = itertools.count()
+    requests = _requests(kiel_gaps, 1)
+
+    def cold():
+        registry = ModelRegistry(tmp_path / f"cold{next(counter)}", fitter=train_fitter)
+        return BatchImputationEngine(registry, max_workers=1).run(
+            requests, habit_r9.config
+        )
+
+    results = benchmark(cold)
+    assert results[0].provenance.cache == "fit"
+
+
+@pytest.mark.benchmark(group="service-cache")
+def test_disk_load_request(benchmark, warm_engine, kiel_gaps):
+    """One request with the model on disk but evicted from memory."""
+    engine, config = warm_engine
+    requests = _requests(kiel_gaps, 1)
+
+    def load():
+        engine.registry.evict_all()
+        return engine.run(requests, config)
+
+    results = benchmark(load)
+    assert results[0].provenance.cache == "load"
+
+
+@pytest.mark.benchmark(group="service-cache")
+def test_warm_cache_request(benchmark, warm_engine, kiel_gaps):
+    """One request served entirely from the in-memory cache."""
+    engine, config = warm_engine
+    requests = _requests(kiel_gaps, 1)
+    engine.run(requests, config)  # prime
+
+    results = benchmark(engine.run, requests, config)
+    assert results[0].provenance.cache == "hit"
+
+
+@pytest.mark.benchmark(group="service-throughput")
+def test_warm_batch_throughput(benchmark, warm_engine, kiel_gaps):
+    """A 64-gap batch on a warm model, fanned over the thread pool."""
+    engine, config = warm_engine
+    requests = _requests(kiel_gaps, 64)
+    engine.run(requests[:1], config)  # prime
+
+    results = benchmark(engine.run, requests, config)
+    assert len(results) == 64
+    assert all(r.provenance.cache == "hit" for r in results)
+    stats = getattr(benchmark, "stats", None)
+    if stats is not None:  # absent under --benchmark-disable
+        benchmark.extra_info["requests_per_s"] = len(requests) / stats.stats.mean
+
+
+def test_warm_throughput_at_least_10x_cold(train_fitter, habit_r9, kiel_gaps, tmp_path):
+    """Acceptance: warm-cache throughput >= 10x cold start, measured directly."""
+    started = time.perf_counter()
+    registry = ModelRegistry(tmp_path / "ratio", fitter=train_fitter)
+    engine = BatchImputationEngine(registry, max_workers=4)
+    (first,) = engine.run(_requests(kiel_gaps, 1), habit_r9.config)
+    cold_s = time.perf_counter() - started
+    assert first.provenance.cache == "fit"
+
+    requests = _requests(kiel_gaps, 64)
+    started = time.perf_counter()
+    results = engine.run(requests, habit_r9.config)
+    warm_s = time.perf_counter() - started
+    assert all(r.provenance.cache == "hit" for r in results)
+
+    cold_rps = 1.0 / cold_s
+    warm_rps = len(requests) / warm_s
+    print(
+        f"\nservice throughput: cold {cold_rps:.2f} req/s, "
+        f"warm {warm_rps:.1f} req/s ({warm_rps / cold_rps:.0f}x)"
+    )
+    assert warm_rps >= 10.0 * cold_rps

@@ -1,9 +1,13 @@
-"""AIS data model: the canonical column schema shared by every layer.
+"""AIS data model: the canonical column schema plus real-data loaders.
 
-Kept separate from the generators so a future real-data loader (the
-ROADMAP's next open item) can target the same schema.
+:mod:`repro.ais.schema` fixes the column names every layer shares;
+:mod:`repro.ais.reader` maps public AIS dumps (MarineCadastre- and
+Danish-Maritime-Authority-style CSV, parquet when pandas is available)
+onto that schema, so the synthetic generators are one backend among
+several.
 """
 
 from repro.ais import schema
+from repro.ais.reader import AISFormatError, read_csv, read_parquet
 
-__all__ = ["schema"]
+__all__ = ["AISFormatError", "read_csv", "read_parquet", "schema"]

@@ -1,0 +1,218 @@
+"""Real-AIS loaders: map public dump columns onto the canonical schema.
+
+Public AIS archives disagree on header names -- MarineCadastre uses
+``MMSI, BaseDateTime, LAT, LON, SOG, COG, VesselType``; the Danish
+Maritime Authority uses ``# Timestamp, MMSI, Latitude, Longitude, SOG,
+COG, Ship type`` with ``dd/mm/yyyy`` timestamps.  :func:`read_csv`
+normalises either (and close relatives) into a raw
+:class:`repro.minidb.Table` in :mod:`repro.ais.schema` columns, so real
+dumps flow through the exact pipeline the synthetic generators feed:
+``clean_messages -> segment_trips -> fit``.
+
+The loader is deliberately lenient about *values*: rows without a
+parseable vessel id or timestamp are dropped (nothing downstream can use
+them), while unparseable coordinates/speeds become NaN for
+:func:`repro.core.clean_messages` to discard -- cleaning policy stays in
+one place.  It is strict about *structure*: missing required columns
+raise :class:`AISFormatError` naming what could not be mapped.
+"""
+
+import csv
+from datetime import datetime, timezone
+from pathlib import Path
+
+import numpy as np
+
+from repro.ais import schema
+from repro.minidb import Table
+
+__all__ = ["AISFormatError", "read_csv", "read_parquet"]
+
+
+class AISFormatError(ValueError):
+    """An AIS dump's structure cannot be mapped onto the schema."""
+
+
+#: lowercased source header -> canonical schema column.
+COLUMN_ALIASES = {
+    # vessel id
+    "mmsi": schema.VESSEL_ID,
+    "vessel_id": schema.VESSEL_ID,
+    "userid": schema.VESSEL_ID,
+    "sourcemmsi": schema.VESSEL_ID,
+    # timestamp
+    "t": schema.T,
+    "timestamp": schema.T,
+    "# timestamp": schema.T,
+    "basedatetime": schema.T,
+    "time": schema.T,
+    "epoch": schema.T,
+    # position
+    "lat": schema.LAT,
+    "latitude": schema.LAT,
+    "lon": schema.LON,
+    "lng": schema.LON,
+    "long": schema.LON,
+    "longitude": schema.LON,
+    # kinematics
+    "sog": schema.SOG,
+    "speed": schema.SOG,
+    "speedoverground": schema.SOG,
+    "cog": schema.COG,
+    "course": schema.COG,
+    "courseoverground": schema.COG,
+    # class
+    "vessel_type": schema.VESSEL_TYPE,
+    "vesseltype": schema.VESSEL_TYPE,
+    "ship type": schema.VESSEL_TYPE,
+    "ship_type": schema.VESSEL_TYPE,
+    "shiptype": schema.VESSEL_TYPE,
+}
+
+#: Columns a dump must provide; the rest default (SOG/COG 0, type unknown).
+REQUIRED_COLUMNS = (schema.VESSEL_ID, schema.T, schema.LAT, schema.LON)
+
+_TIME_FORMATS = (
+    "%Y-%m-%dT%H:%M:%S",
+    "%Y-%m-%d %H:%M:%S",
+    "%d/%m/%Y %H:%M:%S",
+    "%m/%d/%Y %H:%M:%S",
+)
+
+
+def _parse_time(value):
+    """One timestamp string to epoch seconds, or None."""
+    value = str(value).strip()
+    if not value:
+        return None
+    try:
+        return float(value)
+    except ValueError:
+        pass
+    for fmt in _TIME_FORMATS:
+        try:
+            parsed = datetime.strptime(value, fmt)
+        except ValueError:
+            continue
+        return parsed.replace(tzinfo=timezone.utc).timestamp()
+    return None
+
+
+def _map_header(names, source):
+    mapping = {}
+    for index, name in enumerate(names):
+        canonical = COLUMN_ALIASES.get(str(name).strip().lower())
+        if canonical is not None and canonical not in mapping:
+            mapping[canonical] = index
+    missing = [c for c in REQUIRED_COLUMNS if c not in mapping]
+    if missing:
+        raise AISFormatError(
+            f"{source}: cannot map required columns {missing} "
+            f"from headers {list(names)}"
+        )
+    return mapping
+
+
+def _to_float(values):
+    """Column to float64 with unparseable entries as NaN."""
+    arr = np.asarray(values)
+    try:
+        return arr.astype(np.float64)
+    except ValueError:
+        pass
+    out = np.full(len(arr), np.nan)
+    for i, value in enumerate(arr):
+        try:
+            out[i] = float(value)
+        except (TypeError, ValueError):
+            pass
+    return out
+
+
+def _to_epoch(values):
+    """Column to epoch seconds (numeric, datetime64, or string formats)."""
+    arr = np.asarray(values)
+    if arr.dtype.kind == "M":
+        stamped = arr.astype("datetime64[ns]")
+        out = stamped.astype(np.int64) / 1e9
+        out[np.isnat(stamped)] = np.nan  # NaT casts to int64-min, not NaN
+        return out
+    if arr.dtype.kind in "fiu":
+        return arr.astype(np.float64)
+    out = np.full(len(arr), np.nan)
+    for i, value in enumerate(arr):
+        parsed = _parse_time(value)
+        if parsed is not None:
+            out[i] = parsed
+    return out
+
+
+def _from_named_columns(named, source):
+    """Alias-map and coerce ``{header: array}`` into a raw schema table."""
+    mapping = _map_header(list(named), source)
+    by_header = list(named.values())
+    column = {key: np.asarray(by_header[idx]) for key, idx in mapping.items()}
+
+    vessel = _to_float(column[schema.VESSEL_ID])
+    t = _to_epoch(column[schema.T])
+    keep = np.isfinite(vessel) & np.isfinite(t)
+
+    n = int(keep.sum())
+    out = {
+        schema.VESSEL_ID: vessel[keep].astype(np.int64),
+        schema.T: t[keep],
+        schema.LAT: _to_float(column[schema.LAT])[keep],
+        schema.LON: _to_float(column[schema.LON])[keep],
+    }
+    for key in (schema.SOG, schema.COG):
+        out[key] = _to_float(column[key])[keep] if key in column else np.zeros(n)
+    if schema.VESSEL_TYPE in column:
+        # dtype=str sizes to the longest label; a fixed width would
+        # silently truncate real-world type names.
+        types = np.asarray(column[schema.VESSEL_TYPE], dtype=np.str_)
+        types = np.char.lower(np.char.strip(types))[keep]
+        out[schema.VESSEL_TYPE] = np.where(types == "", "unknown", types)
+    else:
+        out[schema.VESSEL_TYPE] = np.full(n, "unknown")
+    return Table({name: out[name] for name in schema.RAW_COLUMNS})
+
+
+def read_csv(path, delimiter=","):
+    """Load a public AIS dump CSV into a raw schema :class:`Table`.
+
+    Headers are matched case-insensitively against :data:`COLUMN_ALIASES`;
+    rows whose field count disagrees with the header are skipped.  The
+    result feeds straight into :func:`repro.core.clean_messages`.
+    """
+    path = Path(path)
+    with open(path, newline="", encoding="utf-8-sig") as handle:
+        rows = csv.reader(handle, delimiter=delimiter)
+        header = next(rows, None)
+        if not header:
+            raise AISFormatError(f"{path}: empty file, no header row")
+        width = len(header)
+        cells = [row for row in rows if len(row) == width]
+    named = {
+        name: np.array([row[i] for row in cells], dtype="U64")
+        for i, name in enumerate(header)
+    }
+    return _from_named_columns(named, str(path))
+
+
+def read_parquet(path):
+    """Load an AIS dump parquet file; requires pandas with a parquet engine.
+
+    The container image may not ship pandas -- this entry point is gated,
+    not a hard dependency: without pandas it raises ``RuntimeError``
+    pointing at the CSV path instead of failing at import time.
+    """
+    try:
+        import pandas as pd
+    except ImportError as exc:
+        raise RuntimeError(
+            "read_parquet requires pandas (with a parquet engine such as "
+            "pyarrow); install them or convert the dump to CSV for read_csv"
+        ) from exc
+    frame = pd.read_parquet(path)
+    named = {str(name): frame[name].to_numpy() for name in frame.columns}
+    return _from_named_columns(named, str(path))

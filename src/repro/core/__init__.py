@@ -21,7 +21,7 @@ implement the critical-point compression ablation, and
 
 from repro.core.annotate import annotate_events, clean_messages, compress_trajectory
 from repro.core.graph import CellGraph
-from repro.core.habit import HabitConfig, HabitImputer
+from repro.core.habit import HabitConfig, HabitImputer, ModelFormatError, config_hash
 from repro.core.path import ImputedPath, straight_line_path
 from repro.core.segmentation import segment_trips
 from repro.core.statistics import compute_statistics
@@ -32,11 +32,13 @@ __all__ = [
     "HabitConfig",
     "HabitImputer",
     "ImputedPath",
+    "ModelFormatError",
     "TypedHabitImputer",
     "annotate_events",
     "clean_messages",
     "compress_trajectory",
     "compute_statistics",
+    "config_hash",
     "segment_trips",
     "straight_line_path",
 ]

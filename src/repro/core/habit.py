@@ -13,7 +13,10 @@ exists the imputer degrades to a straight line, flagged in
 ``ImputedPath.method``.
 """
 
-from dataclasses import dataclass
+import hashlib
+import json
+import zipfile
+from dataclasses import asdict, dataclass
 from pathlib import Path
 
 import numpy as np
@@ -24,7 +27,126 @@ from repro.core.statistics import compute_statistics
 from repro.geo.simplify import rdp_simplify
 from repro.hexgrid import grid_distance, latlng_to_cell
 
-__all__ = ["HabitConfig", "HabitImputer"]
+__all__ = ["HabitConfig", "HabitImputer", "ModelFormatError", "config_hash"]
+
+#: On-disk model format tag and version.  Bumped whenever the ``.npz``
+#: layout changes; version-1 files predate the tag and are rejected with
+#: a clear error instead of being mis-read.
+MODEL_FORMAT = "habit-npz"
+MODEL_FORMAT_VERSION = 2
+
+#: The flat arrays that fully describe a :class:`CellGraph`, in the
+#: positional order of its constructor.
+_GRAPH_KEYS = (
+    "cells",
+    "lats",
+    "lngs",
+    "edge_src",
+    "edge_dst",
+    "edge_cost",
+    "edge_count",
+)
+
+
+class ModelFormatError(ValueError):
+    """A model file is not a readable, current-version ``.npz`` artefact."""
+
+
+def config_hash(config):
+    """Stable 12-hex digest of a :class:`HabitConfig`.
+
+    Hashes the JSON-serialised field dict, so the digest is identical
+    across processes and Python versions (unlike ``hash()``, which is
+    salted per run).  Registries and caches key fitted models on
+    ``(dataset, config_hash)``.
+    """
+    payload = json.dumps(asdict(config), sort_keys=True)
+    return hashlib.sha256(payload.encode("ascii")).hexdigest()[:12]
+
+
+# -- shared .npz payload helpers (also used by the typed variant) ---------
+
+
+def _format_array(kind):
+    return np.array([kind, str(MODEL_FORMAT_VERSION)])
+
+
+def _check_format(data, kind, path):
+    """Validate the format tag of an opened ``np.load`` mapping."""
+    if "format" not in data.files:
+        raise ModelFormatError(
+            f"{path}: no format tag; not a {kind!r} model "
+            "(or written by a pre-versioning release)"
+        )
+    tag = data["format"]
+    name, version = str(tag[0]), str(tag[1])
+    if name != kind:
+        raise ModelFormatError(f"{path}: format {name!r}, expected {kind!r}")
+    if version != str(MODEL_FORMAT_VERSION):
+        raise ModelFormatError(
+            f"{path}: format version {version}, this build reads "
+            f"version {MODEL_FORMAT_VERSION}"
+        )
+
+
+def _graph_payload(graph, prefix=""):
+    return {prefix + key: getattr(graph, key) for key in _GRAPH_KEYS}
+
+
+def _graph_from_npz(data, path, prefix=""):
+    missing = [key for key in _GRAPH_KEYS if prefix + key not in data.files]
+    if missing:
+        raise ModelFormatError(f"{path}: missing graph arrays {missing}")
+    return CellGraph(*(data[prefix + key] for key in _GRAPH_KEYS))
+
+
+def _config_payload(config):
+    return np.array(
+        [
+            str(config.resolution),
+            str(config.tolerance_m),
+            config.projection,
+            config.edge_weight,
+            str(int(config.approx_distinct)),
+            str(config.snap_max_ring),
+            str(config.snap_limit_cells),
+            str(config.resample_m),
+        ]
+    )
+
+
+def _config_from_npz(raw):
+    return HabitConfig(
+        resolution=int(raw[0]),
+        tolerance_m=float(raw[1]),
+        projection=str(raw[2]),
+        edge_weight=str(raw[3]),
+        approx_distinct=bool(int(raw[4])),
+        snap_max_ring=int(raw[5]),
+        snap_limit_cells=int(raw[6]),
+        resample_m=float(raw[7]),
+    )
+
+
+def _open_npz(path):
+    """``np.load`` with unreadable archives mapped to ModelFormatError.
+
+    Non-zip bytes surface as ``ValueError`` (numpy's pickle fallback),
+    truncated/corrupt zips as ``zipfile.BadZipFile``; both mean the same
+    thing to callers.  Missing files keep raising ``OSError``.
+    """
+    try:
+        return np.load(path)
+    except (ValueError, zipfile.BadZipFile) as exc:
+        raise ModelFormatError(f"{path}: not an .npz model archive ({exc})") from exc
+
+
+def _normalize_npz_path(path):
+    """Mirror ``np.savez``'s suffix handling so the returned path is real."""
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_name(path.name + ".npz")
+    return path
 
 
 @dataclass(frozen=True)
@@ -127,60 +249,26 @@ class HabitImputer:
     def save(self, path):
         """Serialise the fitted model to an ``.npz`` file; returns the path."""
         self._require_fitted()
-        path = Path(path)
-        if path.suffix != ".npz":
-            # np.savez appends the suffix itself; mirror it so the returned
-            # path always names the file actually written.
-            path = path.with_name(path.name + ".npz")
-        graph = self.graph
-        config = self.config
+        path = _normalize_npz_path(path)
         np.savez(
             path,
-            cells=graph.cells,
-            lats=graph.lats,
-            lngs=graph.lngs,
-            edge_src=graph.edge_src,
-            edge_dst=graph.edge_dst,
-            edge_cost=graph.edge_cost,
-            edge_count=graph.edge_count,
-            config=np.array(
-                [
-                    str(config.resolution),
-                    str(config.tolerance_m),
-                    config.projection,
-                    config.edge_weight,
-                    str(int(config.approx_distinct)),
-                    str(config.snap_max_ring),
-                    str(config.snap_limit_cells),
-                    str(config.resample_m),
-                ]
-            ),
+            format=_format_array(MODEL_FORMAT),
+            config=_config_payload(self.config),
+            **_graph_payload(self.graph),
         )
         return path
 
     @classmethod
     def load(cls, path):
-        """Restore a model saved with :meth:`save`."""
-        with np.load(path) as data:
-            raw = data["config"]
-            config = HabitConfig(
-                resolution=int(raw[0]),
-                tolerance_m=float(raw[1]),
-                projection=str(raw[2]),
-                edge_weight=str(raw[3]),
-                approx_distinct=bool(int(raw[4])),
-                snap_max_ring=int(raw[5]),
-                snap_limit_cells=int(raw[6]),
-                resample_m=float(raw[7]),
-            )
-            imputer = cls(config)
-            imputer.graph = CellGraph(
-                data["cells"],
-                data["lats"],
-                data["lngs"],
-                data["edge_src"],
-                data["edge_dst"],
-                data["edge_cost"],
-                data["edge_count"],
-            )
+        """Restore a model saved with :meth:`save`.
+
+        Raises :class:`ModelFormatError` when *path* is not a
+        current-version habit model (wrong kind, stale version, missing
+        arrays, or not an ``.npz`` archive at all).
+        """
+        path = Path(path)
+        with _open_npz(path) as data:
+            _check_format(data, MODEL_FORMAT, path)
+            imputer = cls(_config_from_npz(data["config"]))
+            imputer.graph = _graph_from_npz(data, path)
         return imputer

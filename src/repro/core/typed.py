@@ -8,12 +8,30 @@ queries.  This is the paper's future-work extension, ablated in
 ``bench_ablation_typed``.
 """
 
+from pathlib import Path
+
 import numpy as np
 
 from repro.ais import schema
-from repro.core.habit import HabitConfig, HabitImputer
+from repro.core.habit import (
+    HabitConfig,
+    HabitImputer,
+    _check_format,
+    _config_from_npz,
+    _config_payload,
+    _format_array,
+    _graph_from_npz,
+    _graph_payload,
+    _normalize_npz_path,
+    _open_npz,
+)
 
 __all__ = ["TypedHabitImputer"]
+
+#: Format tag for the typed multi-graph ``.npz`` layout -- distinct from
+#: the single-graph ``habit-npz`` so loading one as the other fails with
+#: a clear :class:`repro.core.habit.ModelFormatError`.
+TYPED_MODEL_FORMAT = "typed-habit-npz"
 
 
 class TypedHabitImputer:
@@ -59,3 +77,48 @@ class TypedHabitImputer:
             raise RuntimeError("TypedHabitImputer not fitted")
         total = self.fallback.storage_size_bytes()
         return total + sum(i.storage_size_bytes() for i in self.by_type.values())
+
+    # -- persistence ------------------------------------------------------
+
+    def save(self, path):
+        """Serialise the fallback and every per-type graph to one ``.npz``."""
+        if self.fallback is None:
+            raise RuntimeError("TypedHabitImputer not fitted")
+        path = _normalize_npz_path(path)
+        groups = self.fitted_groups
+        payload = {
+            "format": _format_array(TYPED_MODEL_FORMAT),
+            "config": _config_payload(self.config),
+            "min_group_rows": np.array([self.min_group_rows], dtype=np.int64),
+            # dtype=str sizes the array to the longest name -- never truncate.
+            "groups": np.array(groups, dtype=np.str_),
+            **_graph_payload(self.fallback.graph, "fallback_"),
+        }
+        for i, name in enumerate(groups):
+            payload.update(_graph_payload(self.by_type[name].graph, f"g{i}_"))
+        np.savez(path, **payload)
+        return path
+
+    @classmethod
+    def load(cls, path):
+        """Restore a model saved with :meth:`save`.
+
+        Raises :class:`repro.core.habit.ModelFormatError` on kind/version
+        mismatch or missing arrays.
+        """
+        path = Path(path)
+        with _open_npz(path) as data:
+            _check_format(data, TYPED_MODEL_FORMAT, path)
+            config = _config_from_npz(data["config"])
+            typed = cls(config, min_group_rows=int(data["min_group_rows"][0]))
+            typed.fallback = _with_graph(config, _graph_from_npz(data, path, "fallback_"))
+            for i, name in enumerate(data["groups"]):
+                graph = _graph_from_npz(data, path, f"g{i}_")
+                typed.by_type[str(name)] = _with_graph(config, graph)
+        return typed
+
+
+def _with_graph(config, graph):
+    imputer = HabitImputer(config)
+    imputer.graph = graph
+    return imputer

@@ -19,7 +19,14 @@ from repro.core.segmentation import segment_trips
 from repro.minidb import Table
 from repro.sim.datasets import DatasetBundle, build_dataset
 
-__all__ = ["GTI_DOWNSAMPLE_S", "Gap", "PreparedDataset", "prepare"]
+__all__ = [
+    "GTI_DOWNSAMPLE_S",
+    "Gap",
+    "GapSweepCell",
+    "PreparedDataset",
+    "gap_sweep",
+    "prepare",
+]
 
 #: Temporal downsampling used when fitting the GTI baseline (seconds).
 GTI_DOWNSAMPLE_S = 60.0
@@ -96,6 +103,39 @@ class PreparedDataset:
                 made += 1
                 cursor = t[j] + lead_s
         return out
+
+
+@dataclass(frozen=True)
+class GapSweepCell:
+    """One (duration, density) cell of a gap sweep."""
+
+    duration_s: float
+    max_per_trip: int
+    gaps: list
+
+    @property
+    def num_gaps(self):
+        """Number of evaluation gaps in this cell."""
+        return len(self.gaps)
+
+
+def gap_sweep(dataset, durations_s, densities=(1,), lead_s=GAP_LEAD_S):
+    """Yield evaluation gaps across a duration x density grid.
+
+    One harness run can then cover the paper's whole gap-duration axis
+    (Figure 7) -- and how results move with gap *density* (gaps cut per
+    test trip) -- instead of calling :meth:`PreparedDataset.gaps` once
+    per configuration.  Yields a :class:`GapSweepCell` per combination,
+    durations outermost, so consumers can stream cells without holding
+    the full sweep in memory.
+    """
+    for duration_s in durations_s:
+        for density in densities:
+            yield GapSweepCell(
+                duration_s=float(duration_s),
+                max_per_trip=int(density),
+                gaps=dataset.gaps(duration_s, lead_s=lead_s, max_per_trip=density),
+            )
 
 
 def _cache_path(cache_dir, name, scale, seed):

@@ -1,0 +1,71 @@
+"""Fit-once entry points that populate the serving registry.
+
+This module is the bridge between the experiment harness (which knows
+how to prepare datasets) and :mod:`repro.service` (which serves fitted
+models): :func:`fit_and_save` is what ``python -m repro.service --fit``
+runs, and :func:`dataset_fitter` builds the fit-on-miss callback a
+:class:`repro.service.registry.ModelRegistry` can fall back to.
+"""
+
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.core import HabitConfig, HabitImputer
+from repro.experiments import common
+from repro.service.registry import ModelRegistry
+
+__all__ = ["FitReport", "dataset_fitter", "fit_and_save", "fit_habit"]
+
+
+@dataclass(frozen=True)
+class FitReport:
+    """What one fit-and-save produced."""
+
+    model_id: str
+    path: Path
+    dataset: str
+    storage_bytes: int
+    fit_seconds: float
+    train_rows: int
+
+
+def fit_habit(dataset, config=None, scale=1.0, seed=0, cache_dir=None):
+    """Prepare *dataset* and fit a :class:`HabitImputer` on its train split."""
+    config = config or HabitConfig()
+    prepared = common.prepare(dataset, scale=scale, cache_dir=cache_dir, seed=seed)
+    imputer = HabitImputer(config).fit_from_trips(prepared.train)
+    return imputer, prepared
+
+
+def fit_and_save(dataset, config=None, registry_dir="models", scale=1.0, seed=0, cache_dir=None):
+    """Fit *dataset* and publish the model into *registry_dir*.
+
+    Returns a :class:`FitReport`; the published ``.npz`` is immediately
+    resolvable by any registry pointed at the same directory.
+    """
+    started = time.perf_counter()
+    imputer, prepared = fit_habit(
+        dataset, config=config, scale=scale, seed=seed, cache_dir=cache_dir
+    )
+    model_id, path = ModelRegistry(registry_dir).publish(dataset, imputer)
+    return FitReport(
+        model_id=model_id,
+        path=path,
+        dataset=dataset,
+        storage_bytes=imputer.storage_size_bytes(),
+        fit_seconds=time.perf_counter() - started,
+        train_rows=prepared.train.num_rows,
+    )
+
+
+def dataset_fitter(scale=1.0, seed=0, cache_dir=None):
+    """A ``fitter(dataset, config)`` callback for registry fit-on-miss."""
+
+    def fit(dataset, config):
+        imputer, _ = fit_habit(
+            dataset, config=config, scale=scale, seed=seed, cache_dir=cache_dir
+        )
+        return imputer
+
+    return fit

@@ -1,0 +1,44 @@
+"""The imputation serving layer: registry -> batch engine -> transport.
+
+Fitted HABIT models are stateless after fit and ``.npz``-serialisable,
+which makes fit-once/serve-many the natural deployment shape.  This
+package provides the three pieces:
+
+- :class:`ModelRegistry` (:mod:`repro.service.registry`) -- discovers and
+  LRU-caches serialised models keyed by ``(dataset, config_hash)``.
+- :class:`BatchImputationEngine` (:mod:`repro.service.engine`) -- groups
+  gap requests by model and fans them out over a thread pool, timing and
+  annotating every result with provenance.
+- :func:`make_server` (:mod:`repro.service.http`) plus the
+  ``python -m repro.service`` CLI (:mod:`repro.service.__main__`) -- a
+  stdlib JSON/HTTP endpoint (``/impute``, ``/models``, ``/healthz``).
+
+``repro.experiments.fit.fit_and_save`` populates a registry directory
+from the experiment harness.
+"""
+
+from repro.service.engine import BatchImputationEngine
+from repro.service.http import make_server
+from repro.service.registry import ModelNotFound, ModelRegistry, RegistryStats
+from repro.service.schema import (
+    GapRequest,
+    ImputeResult,
+    Provenance,
+    SchemaError,
+    build_config,
+    parse_impute_payload,
+)
+
+__all__ = [
+    "BatchImputationEngine",
+    "GapRequest",
+    "ImputeResult",
+    "ModelNotFound",
+    "ModelRegistry",
+    "Provenance",
+    "RegistryStats",
+    "SchemaError",
+    "build_config",
+    "make_server",
+    "parse_impute_payload",
+]

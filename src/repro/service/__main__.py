@@ -1,0 +1,140 @@
+"""CLI daemon: ``python -m repro.service``.
+
+Fit models into a registry directory, serve them over HTTP, or both::
+
+    python -m repro.service --fit DAN --fit KIEL      # populate the registry
+    python -m repro.service --serve --port 8080       # serve what's there
+    python -m repro.service --fit DAN --serve         # one-shot demo
+
+    curl -s localhost:8080/impute -d \\
+      '{"dataset": "DAN", "start": [55.7, 11.9], "end": [55.9, 11.8]}'
+"""
+
+import argparse
+
+from repro.core import HabitConfig
+from repro.service.http import make_server
+from repro.service.registry import ModelRegistry
+
+__all__ = ["main"]
+
+
+def _build_parser():
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service",
+        description="Fit HABIT models into a registry and/or serve them over HTTP.",
+    )
+    parser.add_argument(
+        "--fit",
+        action="append",
+        default=[],
+        metavar="DATASET",
+        help="fit-and-save this dataset (repeatable; DAN, KIEL, SAR)",
+    )
+    parser.add_argument("--serve", action="store_true", help="start the HTTP daemon")
+    parser.add_argument(
+        "--registry",
+        default=".cache/repro/models",
+        help="model registry directory (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--data-cache",
+        default=".cache/repro",
+        help="prepared-dataset cache directory (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=0.1,
+        help="dataset scale for fitting (default: %(default)s)",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8080)
+    parser.add_argument(
+        "--capacity", type=int, default=8, help="LRU cache size in models"
+    )
+    parser.add_argument(
+        "--workers", type=int, default=None, help="imputation thread-pool size"
+    )
+    parser.add_argument(
+        "--fit-on-miss",
+        action="store_true",
+        help="fit (at --scale) when a requested model is neither cached nor on disk",
+    )
+    default = HabitConfig()
+    model = parser.add_argument_group("model config")
+    model.add_argument("--resolution", type=int, default=default.resolution)
+    model.add_argument("--tolerance-m", type=float, default=default.tolerance_m)
+    model.add_argument(
+        "--projection", choices=("center", "median"), default=default.projection
+    )
+    model.add_argument(
+        "--edge-weight",
+        choices=("transitions", "inverse_frequency"),
+        default=default.edge_weight,
+    )
+    model.add_argument("--resample-m", type=float, default=default.resample_m)
+    return parser
+
+
+def _config_from_args(args):
+    return HabitConfig(
+        resolution=args.resolution,
+        tolerance_m=args.tolerance_m,
+        projection=args.projection,
+        edge_weight=args.edge_weight,
+        resample_m=args.resample_m,
+    )
+
+
+def main(argv=None):
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    if not args.fit and not args.serve:
+        parser.error("nothing to do: pass --fit DATASET and/or --serve")
+    config = _config_from_args(args)
+
+    # Imported lazily: --serve alone must not pay for the experiments layer.
+    if args.fit:
+        from repro.experiments.fit import fit_and_save
+
+        for dataset in args.fit:
+            report = fit_and_save(
+                dataset,
+                config=config,
+                registry_dir=args.registry,
+                scale=args.scale,
+                seed=args.seed,
+                cache_dir=args.data_cache,
+            )
+            print(
+                f"fitted {report.model_id} -> {report.path} "
+                f"({report.storage_bytes} bytes, {report.train_rows} train rows, "
+                f"{report.fit_seconds:.2f}s)"
+            )
+
+    if args.serve:
+        fitter = None
+        if args.fit_on_miss:
+            from repro.experiments.fit import dataset_fitter
+
+            fitter = dataset_fitter(
+                scale=args.scale, seed=args.seed, cache_dir=args.data_cache
+            )
+        registry = ModelRegistry(args.registry, capacity=args.capacity, fitter=fitter)
+        server = make_server(
+            registry, host=args.host, port=args.port, max_workers=args.workers
+        )
+        host, port = server.server_address[:2]
+        print(f"serving on http://{host}:{port} (registry: {args.registry})")
+        try:
+            server.serve_forever()
+        except KeyboardInterrupt:
+            pass
+        finally:
+            server.server_close()
+
+
+if __name__ == "__main__":
+    main()

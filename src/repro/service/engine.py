@@ -1,0 +1,75 @@
+"""Batch imputation engine: many gap requests, one model resolution each.
+
+The engine is the service's query executor.  A batch is grouped by
+dataset so each model is resolved through the registry exactly once (one
+cache probe / disk load / fit per model, however many gaps ride on it),
+then the per-gap imputations fan out over a thread pool.  Fitted
+imputers are read-only, so concurrent ``impute`` calls on one model are
+safe; single-request batches skip the pool entirely.
+
+Every result carries :class:`repro.service.schema.Provenance`: which
+model answered, how it was obtained (cache hit / disk load / fit), the
+routing method actually used (including the straight-line fallback
+flag), the metric path length, and per-request wall-clock latency.
+"""
+
+import os
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.core import HabitConfig
+from repro.geo.proj import path_length_m
+from repro.service.schema import ImputeResult, Provenance
+
+__all__ = ["BatchImputationEngine"]
+
+
+class BatchImputationEngine:
+    """Executes batches of gap requests against a model registry."""
+
+    def __init__(self, registry, max_workers=None):
+        self.registry = registry
+        self.max_workers = int(max_workers or min(8, (os.cpu_count() or 2)))
+
+    def run(self, requests, config=None):
+        """Impute every request; returns results in request order.
+
+        *config* applies to the whole batch (the transport parses it once
+        per payload).  Raises :class:`repro.service.registry.ModelNotFound`
+        if any request names a dataset with no resolvable model.
+        """
+        requests = list(requests)
+        config = config or HabitConfig()
+        models = {}
+        for request in requests:
+            key = request.dataset.upper()
+            if key not in models:
+                models[key] = self.registry.get(request.dataset, config)
+        if len(requests) <= 1:
+            return [self._impute_one(models[r.dataset.upper()], r) for r in requests]
+        workers = min(self.max_workers, len(requests))
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            return list(
+                pool.map(
+                    lambda r: self._impute_one(models[r.dataset.upper()], r),
+                    requests,
+                )
+            )
+
+    def _impute_one(self, resolved, request):
+        imputer, model_id, source = resolved
+        started = time.perf_counter()
+        path = imputer.impute(request.start, request.end)
+        elapsed_ms = (time.perf_counter() - started) * 1e3
+        provenance = Provenance(
+            model_id=model_id,
+            cache=source,
+            method=path.method,
+            fallback=path.method == "fallback",
+            num_cells=len(path.cells),
+            path_length_m=float(path_length_m(path.lats, path.lngs)),
+            elapsed_ms=elapsed_ms,
+        )
+        return ImputeResult(
+            request=request, lats=path.lats, lngs=path.lngs, provenance=provenance
+        )

@@ -1,0 +1,132 @@
+"""JSON-over-HTTP transport on the stdlib ``http.server``.
+
+Three routes:
+
+- ``GET /healthz`` -- liveness plus registry cache counters.
+- ``GET /models``  -- every model in the registry directory (id, dataset,
+  config hash, size, whether it is warm in memory).
+- ``POST /impute`` -- a batch of gap requests (see
+  :mod:`repro.service.schema`); the response carries per-request
+  provenance and a GeoJSON FeatureCollection of the imputed paths.
+
+Schema violations map to 400, unresolvable models to 404, everything
+else to 500 with the error message in the body.  The server is a
+:class:`ThreadingHTTPServer`, so requests run concurrently; all shared
+state lives in the (locked) registry and the read-only models.
+"""
+
+import json
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.io import feature_collection
+from repro.service.engine import BatchImputationEngine
+from repro.service.registry import ModelNotFound
+from repro.service.schema import SchemaError, parse_impute_payload
+
+__all__ = ["make_server"]
+
+
+def make_server(registry, host="127.0.0.1", port=8080, max_workers=None):
+    """A ready-to-run HTTP server over *registry*.
+
+    Pass ``port=0`` to bind an ephemeral port (tests); the chosen port is
+    ``server.server_address[1]``.  The caller owns the serve loop::
+
+        server = make_server(registry, port=8080)
+        server.serve_forever()
+    """
+    engine = BatchImputationEngine(registry, max_workers=max_workers)
+
+    class Handler(_ServiceHandler):
+        pass
+
+    Handler.engine = engine
+    Handler.registry = registry
+    Handler.started_monotonic = time.monotonic()
+    return ThreadingHTTPServer((host, port), Handler)
+
+
+class _ServiceHandler(BaseHTTPRequestHandler):
+    engine = None
+    registry = None
+    started_monotonic = 0.0
+    server_version = "repro-service/1"
+    protocol_version = "HTTP/1.1"
+
+    # The default handler logs every request to stderr; a serving daemon
+    # under load (and the test suite) wants that off.
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        pass
+
+    def _send_json(self, status, payload):
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def do_GET(self):
+        if self.path == "/healthz":
+            stats = self.registry.stats
+            self._send_json(
+                200,
+                {
+                    "status": "ok",
+                    "uptime_s": time.monotonic() - self.started_monotonic,
+                    "models_loaded": len(self.registry.loaded_ids),
+                    "cache": {
+                        "hits": stats.hits,
+                        "loads": stats.loads,
+                        "fits": stats.fits,
+                        "evictions": stats.evictions,
+                    },
+                },
+            )
+        elif self.path == "/models":
+            self._send_json(200, {"models": self.registry.list_models()})
+        else:
+            self._send_json(404, {"error": f"unknown path {self.path!r}"})
+
+    def do_POST(self):
+        if self.path != "/impute":
+            self._send_json(404, {"error": f"unknown path {self.path!r}"})
+            return
+        try:
+            length = int(self.headers.get("Content-Length", 0))
+            payload = json.loads(self.rfile.read(length) or b"")
+        except (ValueError, TypeError):
+            self._send_json(400, {"error": "body is not valid JSON"})
+            return
+        try:
+            requests, config = parse_impute_payload(payload)
+            started = time.perf_counter()
+            results = self.engine.run(requests, config)
+            elapsed_ms = (time.perf_counter() - started) * 1e3
+        except SchemaError as exc:
+            self._send_json(400, {"error": str(exc)})
+            return
+        except ModelNotFound as exc:
+            self._send_json(404, {"error": exc.args[0]})
+            return
+        except Exception as exc:  # pragma: no cover - defensive
+            self._send_json(500, {"error": f"{type(exc).__name__}: {exc}"})
+            return
+        self._send_json(
+            200,
+            {
+                "count": len(results),
+                "elapsed_ms": elapsed_ms,
+                "results": [
+                    {
+                        "request_id": r.request.request_id,
+                        "dataset": r.request.dataset,
+                        "num_points": r.num_points,
+                        "provenance": r.provenance.to_dict(),
+                    }
+                    for r in results
+                ],
+                "geojson": feature_collection(r.to_feature() for r in results),
+            },
+        )

@@ -1,0 +1,192 @@
+"""Model registry: fit-once / serve-many over ``.npz``-serialised models.
+
+A registry owns one directory of fitted :class:`repro.core.HabitImputer`
+models, one file per ``(dataset, config)`` pair.  The file name *is* the
+model id -- ``{DATASET}_{config_hash}.npz`` -- so any process pointed at
+the same directory resolves the same ids without coordination.
+
+:meth:`ModelRegistry.get` resolves a model through three tiers:
+
+1. in-memory LRU cache (``"hit"``),
+2. the registry directory (``"load"``),
+3. an optional ``fitter(dataset, config)`` callback that fits on miss and
+   publishes the result for every later process (``"fit"``).
+
+Cache bookkeeping is guarded by one registry lock, while slow work
+(disk loads, fits) runs outside it under a per-model-id lock -- a cold
+fit never blocks cache hits on other models or ``/healthz``, and
+concurrent misses on the same model dedupe to one load/fit.  Imputers
+themselves are read-only after fit, and in-flight queries keep evicted
+models alive by reference.
+"""
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.core import HabitImputer, ModelFormatError, config_hash
+
+__all__ = ["ModelNotFound", "ModelRegistry", "RegistryStats"]
+
+
+class ModelNotFound(KeyError):
+    """No cached, on-disk, or fittable model matches the request."""
+
+    def __init__(self, dataset, digest):
+        self.dataset = dataset
+        self.digest = digest
+        super().__init__(
+            f"no model for dataset {dataset!r} with config hash {digest}; "
+            "fit one first (python -m repro.service --fit) or enable fit-on-miss"
+        )
+
+
+@dataclass(frozen=True)
+class RegistryStats:
+    """Counters for the three resolution tiers plus evictions."""
+
+    hits: int
+    loads: int
+    fits: int
+    evictions: int
+
+
+class ModelRegistry:
+    """Thread-safe LRU cache over a directory of serialised models."""
+
+    def __init__(self, root, capacity=8, fitter=None):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.capacity = max(int(capacity), 1)
+        self.fitter = fitter
+        self._cache = OrderedDict()  # model_id -> HabitImputer
+        self._lock = threading.RLock()
+        # One lock per model id serialises its load/fit without holding
+        # the registry lock; entries are tiny and bounded by distinct
+        # models seen, so they are never reclaimed.
+        self._resolving = {}
+        self._hits = self._loads = self._fits = self._evictions = 0
+
+    # -- naming -----------------------------------------------------------
+
+    @staticmethod
+    def model_id(dataset, config):
+        """Canonical id: dataset name (upper) + stable config hash."""
+        return f"{str(dataset).upper()}_{config_hash(config)}"
+
+    def path_for(self, dataset, config):
+        """Where the model for ``(dataset, config)`` lives on disk."""
+        return self.root / f"{self.model_id(dataset, config)}.npz"
+
+    # -- population -------------------------------------------------------
+
+    def publish(self, dataset, imputer):
+        """Serialise a fitted imputer into the registry; returns ``(id, path)``.
+
+        The model is also inserted into the in-memory cache so the
+        publishing process serves it warm immediately.
+        """
+        model_id = self.model_id(dataset, imputer.config)
+        path = imputer.save(self.root / f"{model_id}.npz")
+        with self._lock:
+            self._insert(model_id, imputer)
+        return model_id, path
+
+    # -- resolution -------------------------------------------------------
+
+    def get(self, dataset, config):
+        """Resolve ``(dataset, config)``; returns ``(imputer, id, source)``.
+
+        ``source`` is ``"hit"``, ``"load"``, or ``"fit"`` -- surfaced in
+        response provenance so clients can see cold starts.  An
+        unreadable file on disk (interrupted save, pre-versioning model)
+        falls through to the fitter when one is configured -- a corrupt
+        artefact must not poison its model id.  Raises
+        :class:`ModelNotFound` when all three tiers miss.
+        """
+        model_id = self.model_id(dataset, config)
+        hit = self._cached(model_id)
+        if hit is not None:
+            return hit
+        with self._lock:
+            resolving = self._resolving.setdefault(model_id, threading.Lock())
+        with resolving:
+            # Another thread may have resolved it while we waited.
+            hit = self._cached(model_id)
+            if hit is not None:
+                return hit
+            path = self.root / f"{model_id}.npz"
+            if path.exists():
+                try:
+                    imputer = HabitImputer.load(path)
+                except ModelFormatError:
+                    if self.fitter is None:
+                        raise
+                else:
+                    with self._lock:
+                        self._loads += 1
+                        self._insert(model_id, imputer)
+                    return imputer, model_id, "load"
+            if self.fitter is not None:
+                imputer = self.fitter(dataset, config)
+                imputer.save(path)
+                with self._lock:
+                    self._fits += 1
+                    self._insert(model_id, imputer)
+                return imputer, model_id, "fit"
+        raise ModelNotFound(dataset, config_hash(config))
+
+    def _cached(self, model_id):
+        with self._lock:
+            if model_id in self._cache:
+                self._cache.move_to_end(model_id)
+                self._hits += 1
+                return self._cache[model_id], model_id, "hit"
+        return None
+
+    def _insert(self, model_id, imputer):
+        self._cache[model_id] = imputer
+        self._cache.move_to_end(model_id)
+        while len(self._cache) > self.capacity:
+            self._cache.popitem(last=False)
+            self._evictions += 1
+
+    # -- introspection ----------------------------------------------------
+
+    @property
+    def stats(self):
+        """Current :class:`RegistryStats` snapshot."""
+        with self._lock:
+            return RegistryStats(self._hits, self._loads, self._fits, self._evictions)
+
+    @property
+    def loaded_ids(self):
+        """Model ids currently cached in memory, LRU-oldest first."""
+        with self._lock:
+            return list(self._cache)
+
+    def evict_all(self):
+        """Drop every cached model (files on disk are untouched)."""
+        with self._lock:
+            self._cache.clear()
+
+    def list_models(self):
+        """All models in the registry directory, as JSON-ready dicts."""
+        with self._lock:
+            loaded = set(self._cache)
+        entries = []
+        for path in sorted(self.root.glob("*.npz")):
+            model_id = path.stem
+            dataset, _, digest = model_id.rpartition("_")
+            entries.append(
+                {
+                    "model_id": model_id,
+                    "dataset": dataset,
+                    "config_hash": digest,
+                    "path": str(path),
+                    "size_bytes": path.stat().st_size,
+                    "loaded": model_id in loaded,
+                }
+            )
+        return entries

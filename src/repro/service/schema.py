@@ -1,0 +1,175 @@
+"""Request/response schemas for the imputation service.
+
+The wire format is plain JSON.  An ``/impute`` payload is either a batch::
+
+    {"requests": [{"dataset": "DAN", "start": [lat, lng], "end": [lat, lng],
+                   "id": "r0"}, ...],
+     "config": {"resolution": 9}}
+
+or the single-gap shorthand (``dataset``/``start``/``end`` at top level).
+``config`` holds optional :class:`repro.core.HabitConfig` field overrides;
+unknown fields are rejected rather than silently ignored.  Parsing raises
+:class:`SchemaError` (mapped to HTTP 400 by the transport) with a message
+naming the offending field.
+"""
+
+from dataclasses import asdict, dataclass, field, fields
+from math import isfinite
+
+import numpy as np
+
+from repro.core import HabitConfig
+from repro.io import linestring_feature
+
+__all__ = [
+    "GapRequest",
+    "ImputeResult",
+    "Provenance",
+    "SchemaError",
+    "build_config",
+    "parse_impute_payload",
+]
+
+
+class SchemaError(ValueError):
+    """An ``/impute`` payload does not match the request schema."""
+
+
+@dataclass(frozen=True)
+class GapRequest:
+    """One gap to impute: a dataset name plus two ``(lat, lng)`` endpoints."""
+
+    dataset: str
+    start: tuple
+    end: tuple
+    request_id: str = ""
+
+
+@dataclass(frozen=True)
+class Provenance:
+    """How one imputation was produced (attached to every result).
+
+    ``cache`` records how the model was obtained: ``"hit"`` (in-memory),
+    ``"load"`` (read from the registry directory) or ``"fit"`` (fitted on
+    miss).  ``path_length_m`` is the metric length of the returned
+    polyline -- the path-cost measure exposed to clients.
+    """
+
+    model_id: str
+    cache: str
+    method: str
+    fallback: bool
+    num_cells: int
+    path_length_m: float
+    elapsed_ms: float
+
+    def to_dict(self):
+        """Plain-dict view for JSON responses."""
+        return asdict(self)
+
+
+@dataclass(frozen=True)
+class ImputeResult:
+    """An imputed path plus its provenance, tied back to the request."""
+
+    request: GapRequest
+    lats: np.ndarray = field(repr=False)
+    lngs: np.ndarray = field(repr=False)
+    provenance: Provenance
+
+    @property
+    def num_points(self):
+        """Number of path positions."""
+        return len(self.lats)
+
+    def to_feature(self):
+        """GeoJSON LineString feature with provenance in ``properties``."""
+        properties = {
+            "request_id": self.request.request_id,
+            "dataset": self.request.dataset,
+            **self.provenance.to_dict(),
+        }
+        return linestring_feature(self.lats, self.lngs, properties)
+
+
+#: HabitConfig field name -> default value, used to coerce JSON overrides.
+_CONFIG_DEFAULTS = {f.name: f.default for f in fields(HabitConfig)}
+
+
+def build_config(overrides):
+    """A :class:`HabitConfig` from a JSON override dict.
+
+    Values are coerced to the type of the field's default; unknown field
+    names raise :class:`SchemaError`.
+    """
+    if overrides is None:
+        return HabitConfig()
+    if not isinstance(overrides, dict):
+        raise SchemaError("config must be a JSON object of HabitConfig overrides")
+    unknown = sorted(set(overrides) - set(_CONFIG_DEFAULTS))
+    if unknown:
+        raise SchemaError(
+            f"unknown config fields: {', '.join(unknown)}; "
+            f"valid fields are {', '.join(sorted(_CONFIG_DEFAULTS))}"
+        )
+    kwargs = {}
+    for name, value in overrides.items():
+        default = _CONFIG_DEFAULTS[name]
+        try:
+            if isinstance(default, bool):
+                coerced = bool(value)
+            elif isinstance(default, int):
+                coerced = int(value)
+            elif isinstance(default, float):
+                coerced = float(value)
+            else:
+                coerced = str(value)
+        except (TypeError, ValueError) as exc:
+            raise SchemaError(f"config field {name!r}: cannot coerce {value!r}") from exc
+        kwargs[name] = coerced
+    return HabitConfig(**kwargs)
+
+
+def _parse_endpoint(value, where):
+    if not isinstance(value, (list, tuple)) or len(value) != 2:
+        raise SchemaError(f"{where} must be a [lat, lng] pair")
+    try:
+        lat, lng = float(value[0]), float(value[1])
+    except (TypeError, ValueError) as exc:
+        raise SchemaError(f"{where} must hold two numbers, got {value!r}") from exc
+    if not (isfinite(lat) and isfinite(lng)):
+        raise SchemaError(f"{where} must be finite, got {value!r}")
+    if not (-90.0 <= lat <= 90.0 and -180.0 <= lng <= 180.0):
+        raise SchemaError(f"{where} out of range: lat {lat}, lng {lng}")
+    return (lat, lng)
+
+
+def _parse_request(item, index):
+    if not isinstance(item, dict):
+        raise SchemaError(f"requests[{index}] must be a JSON object")
+    dataset = item.get("dataset")
+    if not isinstance(dataset, str) or not dataset.strip():
+        raise SchemaError(f"requests[{index}].dataset must be a non-empty string")
+    request_id = str(item.get("id", f"req-{index}"))
+    return GapRequest(
+        dataset=dataset.strip(),
+        start=_parse_endpoint(item.get("start"), f"requests[{index}].start"),
+        end=_parse_endpoint(item.get("end"), f"requests[{index}].end"),
+        request_id=request_id,
+    )
+
+
+def parse_impute_payload(payload):
+    """Validate an ``/impute`` body; returns ``(requests, config)``."""
+    if not isinstance(payload, dict):
+        raise SchemaError("payload must be a JSON object")
+    raw = payload.get("requests")
+    if raw is None and "dataset" in payload:
+        raw = [payload]  # single-gap shorthand
+    if not isinstance(raw, list) or not raw:
+        raise SchemaError(
+            "payload must carry a non-empty 'requests' list "
+            "(or top-level dataset/start/end for a single gap)"
+        )
+    config = build_config(payload.get("config"))
+    return [_parse_request(item, i) for i, item in enumerate(raw)], config

@@ -1,0 +1,156 @@
+"""Real-AIS CSV/parquet loaders: header mapping, coercion, pipeline fit."""
+
+import numpy as np
+import pytest
+
+from repro import ais
+from repro.ais import schema
+from repro.core import clean_messages, segment_trips
+
+MARINE_CADASTRE_CSV = """\
+MMSI,BaseDateTime,LAT,LON,SOG,COG,Heading,VesselName,VesselType
+367000001,2023-01-01T00:00:00,54.5000,10.2000,8.5,120.0,119,EVER FORWARD,Cargo
+367000001,2023-01-01T00:00:30,54.5010,10.2030,8.6,121.0,120,EVER FORWARD,Cargo
+367000001,2023-01-01T00:01:00,54.5020,10.2060,8.4,122.0,121,EVER FORWARD,Cargo
+219000002,2023-01-01T00:00:10,55.1000,11.3000,11.2,200.0,199,FERRY ONE,Passenger
+219000002,2023-01-01T00:00:40,55.0990,11.2970,11.1,201.0,200,FERRY ONE,Passenger
+"""
+
+DANISH_CSV = """\
+# Timestamp,Type of mobile,MMSI,Latitude,Longitude,Navigational status,ROT,SOG,COG,Heading,Ship type
+23/02/2023 00:00:00,Class A,219000001,56.1000,11.2000,Under way using engine,0,9.1,45.0,44,Tanker
+23/02/2023 00:00:30,Class A,219000001,56.1010,11.2020,Under way using engine,0,9.2,46.0,45,Tanker
+23/02/2023 00:01:00,Class A,219000001,56.1020,11.2040,Under way using engine,0,9.0,47.0,46,Tanker
+"""
+
+
+def _write(tmp_path, name, text):
+    path = tmp_path / name
+    path.write_text(text)
+    return path
+
+
+def test_read_csv_marine_cadastre_style(tmp_path):
+    table = ais.read_csv(_write(tmp_path, "mc.csv", MARINE_CADASTRE_CSV))
+    assert table.column_names == list(schema.RAW_COLUMNS)
+    assert table.num_rows == 5
+    vessel = table.column(schema.VESSEL_ID)
+    assert vessel.dtype == np.int64
+    assert set(vessel.tolist()) == {367000001, 219000002}
+    t = table.column(schema.T)
+    assert t.dtype == np.float64
+    # ISO timestamps 30 s apart become epoch seconds 30 s apart.
+    first_vessel = t[vessel == 367000001]
+    assert np.allclose(np.diff(first_vessel), 30.0)
+    assert np.allclose(table.column(schema.LAT)[:3], [54.5, 54.501, 54.502])
+    # Vessel classes are normalised to lowercase (the generators' style).
+    assert set(table.column(schema.VESSEL_TYPE).tolist()) == {"cargo", "passenger"}
+
+
+def test_read_csv_danish_style(tmp_path):
+    table = ais.read_csv(_write(tmp_path, "dk.csv", DANISH_CSV))
+    assert table.num_rows == 3
+    t = table.column(schema.T)
+    assert np.allclose(np.diff(t), 30.0)  # dd/mm/yyyy HH:MM:SS parsed
+    assert np.all(table.column(schema.VESSEL_ID) == 219000001)
+    assert set(table.column(schema.VESSEL_TYPE).tolist()) == {"tanker"}
+    assert np.allclose(table.column(schema.SOG), [9.1, 9.2, 9.0])
+
+
+def test_read_csv_missing_required_column(tmp_path):
+    headerless = MARINE_CADASTRE_CSV.replace("LON", "FOO")
+    with pytest.raises(ais.AISFormatError, match="lon"):
+        ais.read_csv(_write(tmp_path, "bad.csv", headerless))
+
+
+def test_read_csv_empty_file(tmp_path):
+    with pytest.raises(ais.AISFormatError, match="empty"):
+        ais.read_csv(_write(tmp_path, "empty.csv", ""))
+
+
+def test_read_csv_optional_columns_default(tmp_path):
+    text = "mmsi,epoch,latitude,longitude\n1,0.0,54.0,10.0\n1,30.0,54.01,10.01\n"
+    table = ais.read_csv(_write(tmp_path, "min.csv", text))
+    assert table.num_rows == 2
+    assert np.all(table.column(schema.SOG) == 0.0)
+    assert np.all(table.column(schema.COG) == 0.0)
+    assert set(table.column(schema.VESSEL_TYPE).tolist()) == {"unknown"}
+
+
+def test_read_csv_drops_and_coerces_bad_rows(tmp_path):
+    text = (
+        "MMSI,BaseDateTime,LAT,LON,SOG,COG\n"
+        "1,2023-01-01T00:00:00,54.0,10.0,5.0,90.0\n"
+        "not-a-vessel,2023-01-01T00:00:30,54.0,10.0,5.0,90.0\n"  # dropped
+        "1,never,54.0,10.0,5.0,90.0\n"  # dropped
+        "1,2023-01-01T00:01:00,bogus,10.1,5.0,90.0\n"  # lat -> NaN, kept
+        "1,2023-01-01T00:01:30,54.2,10.2\n"  # short row skipped
+    )
+    table = ais.read_csv(_write(tmp_path, "messy.csv", text))
+    assert table.num_rows == 2  # identity/time failures dropped, short row skipped
+    lat = table.column(schema.LAT)
+    assert np.isfinite(lat[0]) and np.isnan(lat[1])
+    # clean_messages owns the policy for the NaN survivor.
+    cleaned = clean_messages(table)
+    assert cleaned.num_rows == 1
+
+
+def test_read_csv_feeds_the_pipeline(tmp_path):
+    # A denser dump: one vessel, 20 reports, 30 s cadence -> one trip.
+    rows = ["MMSI,Timestamp,Latitude,Longitude,SOG,COG,Ship type"]
+    for i in range(20):
+        rows.append(
+            f"219000009,{float(i) * 30.0},{54.0 + i * 1e-3:.4f},{10.0 + i * 1e-3:.4f},"
+            f"8.0,45.0,Cargo"
+        )
+    table = ais.read_csv(_write(tmp_path, "trip.csv", "\n".join(rows) + "\n"))
+    trips = segment_trips(clean_messages(table))
+    assert schema.TRIP_ID in trips
+    assert len(np.unique(trips.column(schema.TRIP_ID))) == 1
+    assert trips.num_rows == 20
+
+
+def test_read_csv_keeps_long_vessel_type_labels(tmp_path):
+    text = (
+        "MMSI,epoch,Latitude,Longitude,Ship type\n"
+        "1,0.0,54.0,10.0,Not party to conflict\n"
+    )
+    table = ais.read_csv(_write(tmp_path, "long.csv", text))
+    assert table.column(schema.VESSEL_TYPE)[0] == "not party to conflict"
+
+
+def test_to_epoch_drops_nat_timestamps():
+    from repro.ais.reader import _to_epoch
+
+    stamped = np.array(["2023-01-01T00:00:00", "NaT"], dtype="datetime64[s]")
+    out = _to_epoch(stamped)
+    assert np.isfinite(out[0]) and np.isnan(out[1])  # NaT must not pass as -2**63 ns
+
+
+def test_read_parquet_is_gated_or_works(tmp_path):
+    try:
+        import pandas as pd
+    except ImportError:
+        with pytest.raises(RuntimeError, match="pandas"):
+            ais.read_parquet(tmp_path / "missing.parquet")
+        return
+    frame = pd.DataFrame(
+        {
+            "MMSI": [219000001, 219000001],
+            "BaseDateTime": pd.to_datetime(["2023-01-01T00:00:00", "2023-01-01T00:00:30"]),
+            "LAT": [54.0, 54.01],
+            "LON": [10.0, 10.01],
+            "SOG": [8.0, 8.1],
+            "COG": [90.0, 91.0],
+            "VesselType": ["Cargo", "Cargo"],
+        }
+    )
+    path = tmp_path / "dump.parquet"
+    try:
+        frame.to_parquet(path)
+    except ImportError:
+        pytest.skip("pandas present but no parquet engine")
+    table = ais.read_parquet(path)
+    assert table.num_rows == 2
+    assert np.allclose(np.diff(table.column(schema.T)), 30.0)
+    assert set(table.column(schema.VESSEL_TYPE).tolist()) == {"cargo"}

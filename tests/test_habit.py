@@ -4,7 +4,13 @@ import numpy as np
 import pytest
 
 from repro.baselines import StraightLineImputer
-from repro.core import HabitConfig, HabitImputer, TypedHabitImputer
+from repro.core import (
+    HabitConfig,
+    HabitImputer,
+    ModelFormatError,
+    TypedHabitImputer,
+    config_hash,
+)
 from repro.eval import evaluate_imputer
 from repro.eval.metrics import dtw_distance_m
 
@@ -70,14 +76,89 @@ def test_dijkstra_equals_astar_cost(fitted, gap):
     assert dtw == pytest.approx(0.0, abs=1e-6)
 
 
-def test_save_load_round_trip(fitted, gap, tmp_path):
+def test_save_load_round_trip_is_exact(fitted, gap, tmp_path):
     path = tmp_path / "model.npz"
     fitted.save(path)
     assert path.exists() and path.stat().st_size > 0
     restored = HabitImputer.load(path)
+    assert restored.config == fitted.config
+    # Bit-identical graph arrays, hence bit-identical imputations.
+    assert np.array_equal(restored.graph.cells, fitted.graph.cells)
+    assert np.array_equal(restored.graph.edge_cost, fitted.graph.edge_cost)
     a = fitted.impute(gap.start, gap.end)
     b = restored.impute(gap.start, gap.end)
-    assert np.allclose(a.lats, b.lats) and np.allclose(a.lngs, b.lngs)
+    assert np.array_equal(a.lats, b.lats) and np.array_equal(a.lngs, b.lngs)
+    assert a.method == b.method and a.cells == b.cells
+
+
+def test_typed_save_load_round_trip_is_exact(tiny_kiel, gap, tmp_path):
+    typed = TypedHabitImputer(
+        HabitConfig(resolution=9), min_group_rows=100
+    ).fit_from_trips(tiny_kiel.train)
+    restored = TypedHabitImputer.load(typed.save(tmp_path / "typed.npz"))
+    assert restored.fitted_groups == typed.fitted_groups
+    assert restored.min_group_rows == typed.min_group_rows
+    assert restored.storage_size_bytes() == typed.storage_size_bytes()
+    for vessel_type in typed.fitted_groups + [None, "submarine"]:
+        a = typed.impute(gap.start, gap.end, vessel_type)
+        b = restored.impute(gap.start, gap.end, vessel_type)
+        assert np.array_equal(a.lats, b.lats) and np.array_equal(a.lngs, b.lngs)
+        assert a.method == b.method
+
+
+def test_load_rejects_untagged_or_foreign_npz(fitted, tmp_path):
+    # Pre-versioning files carry no format tag.
+    untagged = tmp_path / "untagged.npz"
+    np.savez(untagged, cells=fitted.graph.cells)
+    with pytest.raises(ModelFormatError, match="format tag"):
+        HabitImputer.load(untagged)
+    # A typed model must not load as a plain one, and vice versa.
+    plain = fitted.save(tmp_path / "plain.npz")
+    with pytest.raises(ModelFormatError, match="typed-habit-npz"):
+        TypedHabitImputer.load(plain)
+    # Not an .npz archive at all.
+    garbage = tmp_path / "garbage.npz"
+    garbage.write_bytes(b"this is not a zip archive")
+    with pytest.raises(ModelFormatError, match="archive"):
+        HabitImputer.load(garbage)
+
+
+def test_load_rejects_stale_version_and_missing_arrays(fitted, tmp_path):
+    import repro.core.habit as habit_mod
+
+    plain = fitted.save(tmp_path / "model.npz")
+    with np.load(plain) as data:
+        payload = {key: data[key] for key in data.files}
+    payload["format"] = np.array([habit_mod.MODEL_FORMAT, "1"])
+    stale = tmp_path / "stale.npz"
+    np.savez(stale, **payload)
+    with pytest.raises(ModelFormatError, match="version 1"):
+        HabitImputer.load(stale)
+    payload["format"] = np.array(
+        [habit_mod.MODEL_FORMAT, str(habit_mod.MODEL_FORMAT_VERSION)]
+    )
+    del payload["edge_cost"]
+    truncated = tmp_path / "truncated.npz"
+    np.savez(truncated, **payload)
+    with pytest.raises(ModelFormatError, match="edge_cost"):
+        HabitImputer.load(truncated)
+
+
+def test_config_hash_tracks_every_field(fitted):
+    base = HabitConfig()
+    assert config_hash(base) == config_hash(HabitConfig())
+    changed = [
+        HabitConfig(resolution=8),
+        HabitConfig(tolerance_m=50.0),
+        HabitConfig(projection="median"),
+        HabitConfig(edge_weight="inverse_frequency"),
+        HabitConfig(approx_distinct=False),
+        HabitConfig(snap_max_ring=4),
+        HabitConfig(snap_limit_cells=100),
+        HabitConfig(resample_m=500.0),
+    ]
+    digests = {config_hash(c) for c in changed} | {config_hash(base)}
+    assert len(digests) == len(changed) + 1  # every field moves the digest
 
 
 def test_save_without_suffix_returns_real_file(fitted, gap, tmp_path):

@@ -1,0 +1,416 @@
+"""Service layer: registry LRU, batch engine provenance, HTTP transport."""
+
+import json
+import subprocess
+import sys
+import threading
+import urllib.error
+import urllib.request
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core import HabitConfig, HabitImputer, config_hash
+from repro.service import (
+    BatchImputationEngine,
+    GapRequest,
+    ModelNotFound,
+    ModelRegistry,
+    SchemaError,
+    make_server,
+    parse_impute_payload,
+)
+
+
+@pytest.fixture(scope="module")
+def service_model(tiny_kiel):
+    return HabitImputer(HabitConfig(resolution=9, tolerance_m=100.0)).fit_from_trips(
+        tiny_kiel.train
+    )
+
+
+@pytest.fixture()
+def registry(tmp_path, service_model):
+    reg = ModelRegistry(tmp_path / "models", capacity=4)
+    reg.publish("KIEL", service_model)
+    return reg
+
+
+def _gap_requests(dataset, gaps, n=4):
+    return [
+        GapRequest(
+            dataset=dataset,
+            start=gaps[i % len(gaps)].start,
+            end=gaps[i % len(gaps)].end,
+            request_id=f"r{i}",
+        )
+        for i in range(n)
+    ]
+
+
+# -- registry ------------------------------------------------------------
+
+
+def test_model_id_is_stable_and_config_sensitive():
+    a = HabitConfig(resolution=9)
+    assert config_hash(a) == config_hash(HabitConfig(resolution=9))
+    assert config_hash(a) != config_hash(HabitConfig(resolution=8))
+    assert ModelRegistry.model_id("kiel", a) == f"KIEL_{config_hash(a)}"
+
+
+def test_registry_resolution_tiers(registry, service_model):
+    config = service_model.config
+    # publish() left the model warm.
+    _, model_id, source = registry.get("KIEL", config)
+    assert source == "hit"
+    registry.evict_all()
+    imputer, _, source = registry.get("KIEL", config)
+    assert source == "load"
+    assert imputer.graph.num_nodes == service_model.graph.num_nodes
+    _, _, source = registry.get("KIEL", config)
+    assert source == "hit"
+    stats = registry.stats
+    assert stats.hits == 2 and stats.loads == 1 and stats.fits == 0
+
+
+def test_registry_miss_without_fitter_raises(registry):
+    with pytest.raises(ModelNotFound, match="DAN"):
+        registry.get("DAN", HabitConfig())
+
+
+def test_registry_fit_on_miss_publishes(tmp_path, tiny_kiel):
+    calls = []
+
+    def fitter(dataset, config):
+        calls.append(dataset)
+        return HabitImputer(config).fit_from_trips(tiny_kiel.train)
+
+    reg = ModelRegistry(tmp_path / "reg", fitter=fitter)
+    config = HabitConfig(resolution=8)
+    _, model_id, source = reg.get("KIEL", config)
+    assert source == "fit" and calls == ["KIEL"]
+    assert (tmp_path / "reg" / f"{model_id}.npz").exists()
+    # A second registry on the same directory resolves from disk, no refit.
+    _, _, source = ModelRegistry(tmp_path / "reg").get("KIEL", config)
+    assert source == "load" and calls == ["KIEL"]
+
+
+def test_registry_lru_eviction(tmp_path, tiny_kiel):
+    fitter = lambda dataset, config: HabitImputer(config).fit_from_trips(  # noqa: E731
+        tiny_kiel.train
+    )
+    reg = ModelRegistry(tmp_path / "lru", capacity=2, fitter=fitter)
+    configs = [HabitConfig(resolution=r) for r in (7, 8, 9)]
+    for config in configs:
+        reg.get("KIEL", config)
+    assert reg.stats.evictions == 1
+    assert len(reg.loaded_ids) == 2
+    # The oldest model fell out of memory but survives on disk.
+    _, _, source = reg.get("KIEL", configs[0])
+    assert source == "load"
+    # Recency order: touching a model protects it from the next eviction.
+    reg.get("KIEL", configs[2])
+    reg.get("KIEL", configs[1])  # evicts configs[0] again
+    assert ModelRegistry.model_id("KIEL", configs[0]) not in reg.loaded_ids
+
+
+def test_registry_corrupt_file_falls_through_to_fitter(tmp_path, tiny_kiel):
+    from repro.core import ModelFormatError
+
+    config = HabitConfig()
+    fitted = {"count": 0}
+
+    def fitter(dataset, cfg):
+        fitted["count"] += 1
+        return HabitImputer(cfg).fit_from_trips(tiny_kiel.train)
+
+    # An interrupted save left garbage under the model's id.
+    no_fitter = ModelRegistry(tmp_path / "reg")
+    bad = no_fitter.path_for("KIEL", config)
+    bad.write_bytes(b"truncated, definitely not a zip")
+    with pytest.raises(ModelFormatError):
+        no_fitter.get("KIEL", config)
+    # With a fitter the corrupt artefact is refitted and overwritten.
+    reg = ModelRegistry(tmp_path / "reg", fitter=fitter)
+    _, model_id, source = reg.get("KIEL", config)
+    assert source == "fit" and fitted["count"] == 1
+    assert HabitImputer.load(bad).graph.num_nodes > 0  # healed on disk
+
+
+def test_registry_concurrent_misses_dedupe_to_one_fit(tmp_path, tiny_kiel):
+    fits = []
+
+    def fitter(dataset, cfg):
+        fits.append(dataset)
+        return HabitImputer(cfg).fit_from_trips(tiny_kiel.train)
+
+    reg = ModelRegistry(tmp_path / "reg", fitter=fitter)
+    config = HabitConfig()
+    with ThreadPoolExecutor(max_workers=8) as pool:
+        outcomes = list(
+            pool.map(lambda _: reg.get("KIEL", config)[2], range(8))
+        )
+    assert len(fits) == 1  # one thread fit, the rest waited for the cache
+    assert sorted(set(outcomes)) in (["fit"], ["fit", "hit"])
+
+
+def test_registry_list_models(registry, service_model):
+    entries = registry.list_models()
+    assert len(entries) == 1
+    entry = entries[0]
+    assert entry["dataset"] == "KIEL"
+    assert entry["model_id"] == ModelRegistry.model_id("KIEL", service_model.config)
+    assert entry["loaded"] is True and entry["size_bytes"] > 0
+
+
+# -- batch engine --------------------------------------------------------
+
+
+def test_engine_batch_order_and_provenance(registry, service_model, tiny_kiel):
+    gaps = tiny_kiel.gaps(3600.0)
+    requests = _gap_requests("KIEL", gaps, n=6)
+    results = BatchImputationEngine(registry, max_workers=3).run(
+        requests, service_model.config
+    )
+    assert [r.request.request_id for r in results] == [r.request_id for r in requests]
+    expected_id = ModelRegistry.model_id("KIEL", service_model.config)
+    for result in results:
+        assert result.provenance.model_id == expected_id
+        assert result.provenance.cache == "hit"
+        assert result.provenance.elapsed_ms > 0.0
+        assert result.provenance.path_length_m > 0.0
+        assert result.num_points >= 2
+        if not result.provenance.fallback:
+            assert result.provenance.num_cells > 0
+
+
+def test_engine_flags_straight_line_fallback(registry, service_model):
+    # Mid-Atlantic endpoints: snapping is rejected, the path degrades.
+    request = GapRequest("KIEL", (10.0, -40.0), (11.0, -41.0), "ocean")
+    (result,) = BatchImputationEngine(registry).run([request], service_model.config)
+    assert result.provenance.fallback is True
+    assert result.provenance.method == "fallback"
+    assert result.provenance.num_cells == 0
+
+
+def test_engine_unknown_dataset_raises(registry, service_model):
+    request = GapRequest("ATLANTIS", (54.0, 10.0), (55.0, 11.0), "x")
+    with pytest.raises(ModelNotFound):
+        BatchImputationEngine(registry).run([request], service_model.config)
+
+
+def test_result_feature_carries_provenance(registry, service_model, tiny_kiel):
+    gap = tiny_kiel.gaps(3600.0)[0]
+    request = GapRequest("KIEL", gap.start, gap.end, "g0")
+    (result,) = BatchImputationEngine(registry).run([request], service_model.config)
+    feature = result.to_feature()
+    assert feature["geometry"]["type"] == "LineString"
+    assert len(feature["geometry"]["coordinates"]) == result.num_points
+    props = feature["properties"]
+    assert props["request_id"] == "g0" and props["dataset"] == "KIEL"
+    assert props["model_id"] and "elapsed_ms" in props and "fallback" in props
+    json.dumps(feature)  # must be JSON-serialisable as-is
+
+
+# -- schema validation ---------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "payload, fragment",
+    [
+        ([], "JSON object"),
+        ({}, "requests"),
+        ({"requests": []}, "non-empty"),
+        ({"requests": [{"start": [1, 2], "end": [3, 4]}]}, "dataset"),
+        ({"requests": [{"dataset": "KIEL", "start": [1], "end": [3, 4]}]}, "start"),
+        (
+            {"requests": [{"dataset": "KIEL", "start": [95.0, 2], "end": [3, 4]}]},
+            "out of range",
+        ),
+        (
+            {"requests": [{"dataset": "KIEL", "start": ["a", "b"], "end": [3, 4]}]},
+            "two numbers",
+        ),
+        (
+            {"dataset": "KIEL", "start": [1, 2], "end": [3, 4], "config": {"nope": 1}},
+            "unknown config fields",
+        ),
+        (
+            {"dataset": "KIEL", "start": [1, 2], "end": [3, 4], "config": [1]},
+            "config must be",
+        ),
+    ],
+)
+def test_parse_impute_payload_rejects(payload, fragment):
+    with pytest.raises(SchemaError, match=fragment):
+        parse_impute_payload(payload)
+
+
+def test_parse_impute_payload_shorthand_and_config():
+    requests, config = parse_impute_payload(
+        {
+            "dataset": "KIEL",
+            "start": [54.0, 10.0],
+            "end": [55.0, 11.0],
+            "config": {"resolution": 8, "tolerance_m": 50},
+        }
+    )
+    assert len(requests) == 1
+    assert requests[0].dataset == "KIEL"
+    assert requests[0].start == (54.0, 10.0)
+    assert config == HabitConfig(resolution=8, tolerance_m=50.0)
+
+
+# -- HTTP transport ------------------------------------------------------
+
+
+def _post(base, path, payload):
+    request = urllib.request.Request(
+        base + path,
+        data=json.dumps(payload).encode() if not isinstance(payload, bytes) else payload,
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    with urllib.request.urlopen(request, timeout=10) as response:
+        return response.status, json.loads(response.read())
+
+
+def _get(base, path):
+    with urllib.request.urlopen(base + path, timeout=10) as response:
+        return response.status, json.loads(response.read())
+
+
+@pytest.fixture()
+def server(registry):
+    server = make_server(registry, port=0, max_workers=4)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    host, port = server.server_address[:2]
+    yield f"http://{host}:{port}"
+    server.shutdown()
+    server.server_close()
+    thread.join(timeout=5)
+
+
+def test_http_impute_returns_geojson_with_provenance(server, tiny_kiel, service_model):
+    gap = tiny_kiel.gaps(3600.0)[0]
+    status, body = _post(
+        server,
+        "/impute",
+        {"dataset": "KIEL", "start": list(gap.start), "end": list(gap.end)},
+    )
+    assert status == 200 and body["count"] == 1
+    assert body["results"][0]["provenance"]["model_id"] == ModelRegistry.model_id(
+        "KIEL", service_model.config
+    )
+    feature = body["geojson"]["features"][0]
+    assert feature["geometry"]["type"] == "LineString"
+    assert len(feature["geometry"]["coordinates"]) >= 2
+    assert feature["properties"]["fallback"] in (False, True)
+
+
+def test_http_health_and_models(server):
+    status, health = _get(server, "/healthz")
+    assert status == 200 and health["status"] == "ok"
+    assert {"hits", "loads", "fits", "evictions"} <= set(health["cache"])
+    status, models = _get(server, "/models")
+    assert status == 200 and len(models["models"]) == 1
+
+
+def test_http_error_statuses(server):
+    with pytest.raises(urllib.error.HTTPError) as err:
+        _post(server, "/impute", b"this is not json")
+    assert err.value.code == 400
+    with pytest.raises(urllib.error.HTTPError) as err:
+        _post(server, "/impute", {"requests": []})
+    assert err.value.code == 400
+    with pytest.raises(urllib.error.HTTPError) as err:
+        _post(
+            server,
+            "/impute",
+            {"dataset": "ATLANTIS", "start": [54.0, 10.0], "end": [55.0, 11.0]},
+        )
+    assert err.value.code == 404
+    with pytest.raises(urllib.error.HTTPError) as err:
+        _get(server, "/nope")
+    assert err.value.code == 404
+
+
+def test_http_concurrent_imputes(server, tiny_kiel):
+    gaps = tiny_kiel.gaps(3600.0)
+
+    def one(i):
+        gap = gaps[i % len(gaps)]
+        payload = {
+            "requests": [
+                {
+                    "dataset": "KIEL",
+                    "start": list(gap.start),
+                    "end": list(gap.end),
+                    "id": f"c{i}",
+                }
+            ]
+        }
+        status, body = _post(server, "/impute", payload)
+        return status, body["results"][0]["request_id"]
+
+    with ThreadPoolExecutor(max_workers=8) as pool:
+        outcomes = list(pool.map(one, range(16)))
+    assert all(status == 200 for status, _ in outcomes)
+    assert [rid for _, rid in outcomes] == [f"c{i}" for i in range(16)]
+
+
+# -- CLI -----------------------------------------------------------------
+
+
+def test_cli_fit_populates_registry(tmp_path):
+    src = Path(__file__).resolve().parent.parent / "src"
+    result = subprocess.run(
+        [
+            sys.executable,
+            "-m",
+            "repro.service",
+            "--fit",
+            "KIEL",
+            "--scale",
+            "0.02",
+            "--registry",
+            str(tmp_path / "models"),
+            "--data-cache",
+            str(tmp_path / "data"),
+        ],
+        env={"PYTHONPATH": str(src), "PATH": "/usr/bin:/bin"},
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert result.returncode == 0, result.stderr
+    assert "fitted KIEL_" in result.stdout
+    published = list((tmp_path / "models").glob("KIEL_*.npz"))
+    assert len(published) == 1
+    restored = HabitImputer.load(published[0])
+    assert restored.graph.num_nodes > 0
+
+
+def test_cli_requires_an_action():
+    src = Path(__file__).resolve().parent.parent / "src"
+    result = subprocess.run(
+        [sys.executable, "-m", "repro.service"],
+        env={"PYTHONPATH": str(src), "PATH": "/usr/bin:/bin"},
+        capture_output=True,
+        text=True,
+        timeout=60,
+    )
+    assert result.returncode != 0
+    assert "nothing to do" in result.stderr
+
+
+def test_engine_results_are_finite(registry, service_model, tiny_kiel):
+    gaps = tiny_kiel.gaps(3600.0)
+    results = BatchImputationEngine(registry).run(
+        _gap_requests("KIEL", gaps, n=3), service_model.config
+    )
+    for result in results:
+        assert np.all(np.isfinite(result.lats)) and np.all(np.isfinite(result.lngs))

@@ -65,3 +65,23 @@ def test_gaps_have_truth_and_context(tiny_kiel):
 
 def test_longer_gaps_are_scarcer(tiny_kiel):
     assert len(tiny_kiel.gaps(7200.0)) <= len(tiny_kiel.gaps(3600.0))
+
+
+def test_gap_sweep_covers_the_grid(tiny_kiel):
+    cells = list(
+        common.gap_sweep(tiny_kiel, durations_s=(1800.0, 3600.0), densities=(1, 2))
+    )
+    assert [(c.duration_s, c.max_per_trip) for c in cells] == [
+        (1800.0, 1),
+        (1800.0, 2),
+        (3600.0, 1),
+        (3600.0, 2),
+    ]
+    by_cell = {(c.duration_s, c.max_per_trip): c for c in cells}
+    # Each cell matches the equivalent single-configuration call ...
+    assert by_cell[(3600.0, 1)].num_gaps == len(tiny_kiel.gaps(3600.0))
+    # ... and higher density never yields fewer gaps.
+    assert by_cell[(1800.0, 2)].num_gaps >= by_cell[(1800.0, 1)].num_gaps
+    for cell in cells:
+        for gap in cell.gaps:
+            assert gap.duration_s >= cell.duration_s * 0.9
