@@ -1,21 +1,42 @@
-"""Figure 7 benchmark: imputation across gap durations (1/2/4 h).
+"""Figure 7 benchmark: imputation across the gap duration x density grid.
 
-Longer gaps mean longer A* paths and longer DTW alignments; the growth
-must stay graceful (sub-linear in duration for the median case).
+The whole grid comes from one ``experiments.common.gap_sweep`` pass --
+durations 1/2/4 h crossed with gap densities (gaps cut per test trip) --
+instead of one-duration-at-a-time cases.  Longer gaps mean longer A*
+paths and longer DTW alignments; the growth must stay graceful
+(sub-linear in duration for the median case), and denser gap cutting
+must not shift per-gap accuracy (the cells are independent queries).
 """
 
 import pytest
 
 from repro.eval.metrics import dtw_distance_m
+from repro.experiments import common
+
+#: The sweep axes: gap duration (hours) x gaps cut per test trip.
+DURATIONS_H = (1.0, 2.0, 4.0)
+DENSITIES = (1, 2)
+
+
+@pytest.fixture(scope="module")
+def fig7_sweep(kiel):
+    """The full duration x density sweep, streamed once per module."""
+    return {
+        (cell.duration_s, cell.max_per_trip): cell
+        for cell in common.gap_sweep(
+            kiel, [h * 3600.0 for h in DURATIONS_H], DENSITIES
+        )
+    }
 
 
 @pytest.mark.benchmark(group="fig7-durations")
-@pytest.mark.parametrize("hours", [1.0, 2.0, 4.0])
-def test_gap_duration(benchmark, kiel, habit_r9, hours):
-    gaps = kiel.gaps(hours * 3600.0)
-    if not gaps:
-        pytest.skip(f"no {hours}-hour gaps fit the benchmark trips")
-    gap = gaps[0]
+@pytest.mark.parametrize("hours", DURATIONS_H)
+@pytest.mark.parametrize("density", DENSITIES)
+def test_gap_sweep_cell(benchmark, fig7_sweep, habit_r9, hours, density):
+    cell = fig7_sweep[(hours * 3600.0, density)]
+    if not cell.gaps:
+        pytest.skip(f"no {hours}-hour gaps fit the benchmark trips at density {density}")
+    gap = cell.gaps[0]
 
     def impute_and_score():
         result = habit_r9.impute(gap.start, gap.end)
@@ -26,3 +47,5 @@ def test_gap_duration(benchmark, kiel, habit_r9, hours):
     dtw = benchmark(impute_and_score)
     benchmark.extra_info["dtw_m"] = float(dtw)
     benchmark.extra_info["gap_h"] = hours
+    benchmark.extra_info["density"] = density
+    benchmark.extra_info["num_gaps"] = cell.num_gaps

@@ -1,0 +1,114 @@
+"""Parallel fit benchmark: sharded partial -> merge vs the one-shot pass.
+
+Runs on DAN -- the largest synthetic dataset -- at a scale big enough
+that the statistics pass dominates process-pool overhead.  The headline
+assertion: with 4 shards fanned over a process pool, the sharded fit
+must beat one-shot ``compute_statistics`` by >= 1.5x wall-clock.  That
+requires real cores, so the assertion is skipped (never faked) on
+single-CPU machines; the merge-equivalence checks run everywhere.
+"""
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    HabitConfig,
+    compute_statistics,
+    compute_statistics_sharded,
+)
+from repro.experiments import common
+
+#: Scale for the speedup measurement: large enough that one-shot fitting
+#: takes O(seconds), so pool spawn + state IPC amortise.
+SPEEDUP_SCALE = 1.0
+
+NUM_SHARDS = 4
+
+#: The asserted floor for sharded-vs-one-shot wall clock at 4 shards.
+MIN_SPEEDUP = 1.5
+
+
+@pytest.fixture(scope="module")
+def dan_full(bench_cache):
+    return common.prepare("DAN", scale=SPEEDUP_SCALE, cache_dir=bench_cache)
+
+
+@pytest.fixture(scope="module")
+def fit_config():
+    return HabitConfig(resolution=9)
+
+
+def _best_of(fn, repeats=2):
+    best = np.inf
+    result = None
+    for _ in range(repeats):
+        started = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - started)
+    return best, result
+
+
+def test_sharded_fit_matches_one_shot_exactly(dan, fit_config):
+    """Counts/transitions/HLL must be bit-equal however the trips shard."""
+    cell_stats, transition_stats = compute_statistics(dan.train, fit_config)
+    cell_sh, transition_sh = compute_statistics_sharded(
+        dan.train, fit_config, num_shards=NUM_SHARDS, mode="serial"
+    )
+    assert np.array_equal(cell_stats["cell"], cell_sh["cell"])
+    assert np.array_equal(cell_stats["count"], cell_sh["count"])
+    assert np.array_equal(cell_stats["vessels"], cell_sh["vessels"])
+    assert np.array_equal(transition_stats["cell"], transition_sh["cell"])
+    assert np.array_equal(transition_stats["transitions"], transition_sh["transitions"])
+    assert np.array_equal(transition_stats["vessels"], transition_sh["vessels"])
+    # Medians are t-digest estimates: within a fraction of a cell edge.
+    for column in ("median_lat", "median_lon"):
+        delta_m = np.abs(cell_stats[column] - cell_sh[column]).max() * 111_320.0
+        assert delta_m < 50.0, f"{column} drifted {delta_m:.1f} m"
+
+
+def test_sharded_fit_speedup(dan_full, fit_config):
+    """>= 1.5x at 4 shards over a process pool (needs real cores)."""
+    cpus = os.cpu_count() or 1
+    one_shot_s, _ = _best_of(lambda: compute_statistics(dan_full.train, fit_config))
+    sharded_s, _ = _best_of(
+        lambda: compute_statistics_sharded(
+            dan_full.train, fit_config, num_shards=NUM_SHARDS, mode="process"
+        )
+    )
+    speedup = one_shot_s / sharded_s
+    print(
+        f"\none-shot {one_shot_s:.2f}s vs sharded({NUM_SHARDS}) {sharded_s:.2f}s "
+        f"-> {speedup:.2f}x on {cpus} cpu(s)"
+    )
+    if cpus < 2:
+        pytest.skip(
+            f"speedup {speedup:.2f}x measured, but the >= {MIN_SPEEDUP}x "
+            f"assertion needs >= 2 CPUs (have {cpus})"
+        )
+    assert speedup >= MIN_SPEEDUP, (
+        f"sharded fit only {speedup:.2f}x faster than one-shot "
+        f"(one-shot {one_shot_s:.2f}s, sharded {sharded_s:.2f}s)"
+    )
+
+
+@pytest.mark.benchmark(group="parallel-fit")
+def test_one_shot_statistics(benchmark, dan, fit_config):
+    benchmark.pedantic(
+        compute_statistics, args=(dan.train, fit_config), rounds=3, iterations=1
+    )
+
+
+@pytest.mark.benchmark(group="parallel-fit")
+@pytest.mark.parametrize("num_shards", [2, 4])
+def test_sharded_statistics_serial(benchmark, dan, fit_config, num_shards):
+    """Sharded path overhead without parallelism (merge cost visibility)."""
+    benchmark.pedantic(
+        compute_statistics_sharded,
+        args=(dan.train, fit_config),
+        kwargs={"num_shards": num_shards, "mode": "serial"},
+        rounds=3,
+        iterations=1,
+    )

@@ -4,10 +4,11 @@
 :mod:`repro.ais.reader` maps public AIS dumps (MarineCadastre- and
 Danish-Maritime-Authority-style CSV, parquet when pandas is available)
 onto that schema, so the synthetic generators are one backend among
-several.
+several.  :func:`read_csv_chunks` streams month-scale dumps as
+bounded-memory chunks for the incremental fit path.
 """
 
 from repro.ais import schema
-from repro.ais.reader import AISFormatError, read_csv, read_parquet
+from repro.ais.reader import AISFormatError, read_csv, read_csv_chunks, read_parquet
 
-__all__ = ["AISFormatError", "read_csv", "read_parquet", "schema"]
+__all__ = ["AISFormatError", "read_csv", "read_csv_chunks", "read_parquet", "schema"]

@@ -26,7 +26,11 @@ import numpy as np
 from repro.ais import schema
 from repro.minidb import Table
 
-__all__ = ["AISFormatError", "read_csv", "read_parquet"]
+__all__ = ["AISFormatError", "read_csv", "read_csv_chunks", "read_parquet"]
+
+#: Default rows per chunk for :func:`read_csv_chunks` (~tens of MB of
+#: parsed arrays; month-scale dumps stream in hundreds of chunks).
+DEFAULT_CHUNK_ROWS = 250_000
 
 
 class AISFormatError(ValueError):
@@ -177,6 +181,14 @@ def _from_named_columns(named, source):
     return Table({name: out[name] for name in schema.RAW_COLUMNS})
 
 
+def _rows_to_table(header, cells, source):
+    named = {
+        name: np.array([row[i] for row in cells], dtype="U64")
+        for i, name in enumerate(header)
+    }
+    return _from_named_columns(named, source)
+
+
 def read_csv(path, delimiter=","):
     """Load a public AIS dump CSV into a raw schema :class:`Table`.
 
@@ -192,11 +204,43 @@ def read_csv(path, delimiter=","):
             raise AISFormatError(f"{path}: empty file, no header row")
         width = len(header)
         cells = [row for row in rows if len(row) == width]
-    named = {
-        name: np.array([row[i] for row in cells], dtype="U64")
-        for i, name in enumerate(header)
-    }
-    return _from_named_columns(named, str(path))
+    return _rows_to_table(header, cells, str(path))
+
+
+def read_csv_chunks(path, chunk_rows=DEFAULT_CHUNK_ROWS, delimiter=","):
+    """Stream a public AIS dump CSV as bounded-memory schema tables.
+
+    An iterator of :class:`repro.minidb.Table` chunks of at most
+    *chunk_rows* source rows each -- the whole dump is never materialised,
+    so month-scale archives fit in constant memory.  Each chunk gets the
+    same alias mapping and value coercion as :func:`read_csv`;
+    concatenating every chunk reproduces ``read_csv(path)`` exactly.
+    Pipe chunks through :func:`repro.core.clean_messages`, a
+    :class:`repro.core.StreamingSegmenter` and
+    :meth:`repro.core.HabitImputer.fit_partial` for a fixed-memory fit.
+    """
+    if chunk_rows < 1:
+        raise ValueError(f"chunk_rows must be positive, got {chunk_rows}")
+    path = Path(path)
+    with open(path, newline="", encoding="utf-8-sig") as handle:
+        rows = csv.reader(handle, delimiter=delimiter)
+        header = next(rows, None)
+        if not header:
+            raise AISFormatError(f"{path}: empty file, no header row")
+        # Map (and so validate) the header up front: a structurally broken
+        # dump fails on the first chunk, not somewhere mid-stream.
+        _map_header(header, str(path))
+        width = len(header)
+        buffer = []
+        for row in rows:
+            if len(row) != width:
+                continue
+            buffer.append(row)
+            if len(buffer) >= chunk_rows:
+                yield _rows_to_table(header, buffer, str(path))
+                buffer = []
+        if buffer:
+            yield _rows_to_table(header, buffer, str(path))
 
 
 def read_parquet(path):

@@ -8,7 +8,9 @@ This is the paper's method end to end:
    spatial discontinuities (:mod:`repro.core.segmentation`).
 3. :func:`compute_statistics` aggregates positions into hex-cell and
    cell-transition statistics with :mod:`repro.minidb`
-   (:mod:`repro.core.statistics`).
+   (:mod:`repro.core.statistics`); the same stage runs shard-by-shard via
+   :func:`partial_statistics` + :func:`merge_statistics` (parallel and
+   streaming fits: :mod:`repro.core.parallel`, :class:`StreamingSegmenter`).
 4. :class:`HabitImputer` builds a weighted cell graph from those statistics
    and answers gap queries with A* plus RDP smoothing
    (:mod:`repro.core.habit`, :mod:`repro.core.graph`).
@@ -22,9 +24,19 @@ implement the critical-point compression ablation, and
 from repro.core.annotate import annotate_events, clean_messages, compress_trajectory
 from repro.core.graph import CellGraph
 from repro.core.habit import HabitConfig, HabitImputer, ModelFormatError, config_hash
+from repro.core.parallel import compute_statistics_sharded, parallel_fit, shard_trips
 from repro.core.path import ImputedPath, straight_line_path
-from repro.core.segmentation import segment_trips
-from repro.core.statistics import compute_statistics
+from repro.core.segmentation import (
+    StreamingSegmenter,
+    segment_trips,
+    segment_trips_stream,
+)
+from repro.core.statistics import (
+    StatisticsState,
+    compute_statistics,
+    merge_statistics,
+    partial_statistics,
+)
 from repro.core.typed import TypedHabitImputer
 
 __all__ = [
@@ -33,12 +45,20 @@ __all__ = [
     "HabitImputer",
     "ImputedPath",
     "ModelFormatError",
+    "StatisticsState",
+    "StreamingSegmenter",
     "TypedHabitImputer",
     "annotate_events",
     "clean_messages",
     "compress_trajectory",
     "compute_statistics",
+    "compute_statistics_sharded",
     "config_hash",
+    "merge_statistics",
+    "parallel_fit",
+    "partial_statistics",
     "segment_trips",
+    "segment_trips_stream",
+    "shard_trips",
     "straight_line_path",
 ]

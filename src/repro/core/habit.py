@@ -1,10 +1,20 @@
 """HABIT: the paper's data-driven, grid-based trajectory imputer.
 
 Fitting aggregates historical trips into cell/transition statistics and
-freezes them into a :class:`repro.core.graph.CellGraph`; after
-:meth:`HabitImputer.fit_from_trips` the imputer is stateless -- queries
-only read the graph, so fitted models can be shared, cached, or sharded
-freely (a property later scaling PRs rely on).
+freezes them into a :class:`repro.core.graph.CellGraph`; queries only
+read the graph, so fitted models can be shared, cached, or sharded
+freely (a property the serving layer relies on).
+
+Fitting is incremental: :meth:`HabitImputer.fit_partial` folds one shard
+or streamed chunk of trips into a mergeable
+:class:`repro.core.statistics.StatisticsState`, :meth:`HabitImputer.merge`
+absorbs another imputer's (or raw) state, and
+:meth:`HabitImputer.finalize` freezes the accumulated state into the
+graph.  :meth:`HabitImputer.fit_from_trips` is the one-shot wrapper, and
+:meth:`HabitImputer.update` refreshes an already-finalised model in place
+from new trips -- only the (cheap) graph rebuild is repeated, never the
+pass over historical rows.  ``revision`` counts those refreshes and rides
+into serving provenance.
 
 A query snaps both gap endpoints to graph nodes, runs A*, projects the
 cell path to positions (cell centres or per-cell medians), simplifies with
@@ -23,7 +33,7 @@ import numpy as np
 
 from repro.core.graph import CellGraph
 from repro.core.path import ImputedPath, resample_polyline, straight_line_path
-from repro.core.statistics import compute_statistics
+from repro.core.statistics import StatisticsState, partial_statistics
 from repro.geo.simplify import rdp_simplify
 from repro.hexgrid import grid_distance, latlng_to_cell
 
@@ -31,9 +41,14 @@ __all__ = ["HabitConfig", "HabitImputer", "ModelFormatError", "config_hash"]
 
 #: On-disk model format tag and version.  Bumped whenever the ``.npz``
 #: layout changes; version-1 files predate the tag and are rejected with
-#: a clear error instead of being mis-read.
+#: a clear error instead of being mis-read.  Version 3 added the model
+#: revision and the optional mergeable fit state that powers
+#: :meth:`HabitImputer.update` after a load.
 MODEL_FORMAT = "habit-npz"
-MODEL_FORMAT_VERSION = 2
+MODEL_FORMAT_VERSION = 3
+
+#: Prefix under which a model's mergeable fit state is stored in the npz.
+_STATE_PREFIX = "state_"
 
 #: The flat arrays that fully describe a :class:`CellGraph`, in the
 #: positional order of its constructor.
@@ -185,12 +200,48 @@ class HabitImputer:
         self.graph = None
         self.cell_stats = None
         self.transition_stats = None
+        #: Accumulated mergeable fit state (None until a partial fit).
+        self._state = None
+        #: Bumped by every :meth:`update`; surfaced in serving provenance.
+        self.revision = 1
 
     # -- fitting ----------------------------------------------------------
 
-    def fit_from_trips(self, trips):
-        """Learn the cell graph from a segmented trip table; returns self."""
-        cell_stats, transition_stats = compute_statistics(trips, self.config)
+    def fit_partial(self, trips):
+        """Fold one shard/chunk of segmented trips into the fit state.
+
+        Does not touch the graph; call :meth:`finalize` once every shard
+        is in.  Chunks must hold whole trips (see
+        :mod:`repro.core.statistics`).  Returns self.
+        """
+        state = partial_statistics(trips, self.config)
+        if self._state is None:
+            self._state = state
+        else:
+            self._state = StatisticsState.merged([self._state, state])
+        return self
+
+    def merge(self, other):
+        """Absorb another imputer's (or a raw) partial fit state; returns self.
+
+        *other* is a :class:`repro.core.statistics.StatisticsState` or a
+        :class:`HabitImputer` carrying one.  States are never mutated, so
+        the donor keeps working.
+        """
+        state = other._state if isinstance(other, HabitImputer) else other
+        if state is None:
+            raise ValueError("cannot merge an imputer with no fit state")
+        if self._state is None:
+            self._state = state
+        else:
+            self._state = StatisticsState.merged([self._state, state])
+        return self
+
+    def finalize(self):
+        """Freeze the accumulated state into statistics + cell graph."""
+        if self._state is None:
+            raise RuntimeError("HabitImputer.finalize called with no fit state")
+        cell_stats, transition_stats = self._state.finalize()
         self.cell_stats = cell_stats
         self.transition_stats = transition_stats
         self.graph = CellGraph.from_statistics(
@@ -200,6 +251,26 @@ class HabitImputer:
             edge_weight=self.config.edge_weight,
         )
         return self
+
+    def fit_from_trips(self, trips):
+        """Learn the cell graph from a segmented trip table; returns self."""
+        self._state = None
+        self.revision = 1
+        return self.fit_partial(trips).finalize()
+
+    def update(self, trips):
+        """Incremental refresh: merge new trips, rebuild the graph, bump
+        ``revision``.  Only the graph rebuild repeats -- historical rows
+        live on solely as merged sketch state.  Returns self.
+        """
+        if self.graph is not None and self._state is None:
+            raise ValueError(
+                "model was saved without its fit state and cannot be "
+                "updated incrementally; refit from the full history"
+            )
+        self.fit_partial(trips)
+        self.revision += 1
+        return self.finalize()
 
     def _require_fitted(self):
         if self.graph is None:
@@ -246,16 +317,24 @@ class HabitImputer:
         self._require_fitted()
         return self.graph.storage_size_bytes()
 
-    def save(self, path):
-        """Serialise the fitted model to an ``.npz`` file; returns the path."""
+    def save(self, path, include_state=True):
+        """Serialise the fitted model to an ``.npz`` file; returns the path.
+
+        With *include_state* (the default) the mergeable fit state rides
+        along, so a loaded model can keep absorbing new data via
+        :meth:`update`; pass ``False`` for a leaner, serve-only artefact.
+        """
         self._require_fitted()
         path = _normalize_npz_path(path)
-        np.savez(
-            path,
-            format=_format_array(MODEL_FORMAT),
-            config=_config_payload(self.config),
+        payload = {
+            "format": _format_array(MODEL_FORMAT),
+            "config": _config_payload(self.config),
+            "revision": np.array([self.revision], dtype=np.int64),
             **_graph_payload(self.graph),
-        )
+        }
+        if include_state and self._state is not None:
+            payload.update(self._state.payload(_STATE_PREFIX))
+        np.savez(path, **payload)
         return path
 
     @classmethod
@@ -264,11 +343,16 @@ class HabitImputer:
 
         Raises :class:`ModelFormatError` when *path* is not a
         current-version habit model (wrong kind, stale version, missing
-        arrays, or not an ``.npz`` archive at all).
+        arrays, or not an ``.npz`` archive at all).  Models saved with
+        their fit state come back refreshable; state-less artefacts load
+        fine but reject :meth:`update`.
         """
         path = Path(path)
         with _open_npz(path) as data:
             _check_format(data, MODEL_FORMAT, path)
             imputer = cls(_config_from_npz(data["config"]))
             imputer.graph = _graph_from_npz(data, path)
+            imputer.revision = int(data["revision"][0])
+            if _STATE_PREFIX + "meta" in data.files:
+                imputer._state = StatisticsState.from_payload(data, _STATE_PREFIX)
         return imputer

@@ -1,0 +1,139 @@
+"""Sharded and parallel fitting over the partial → merge statistics engine.
+
+:func:`shard_trips` partitions a segmented trip table into spatial shards
+keyed by the *cell prefix* (a coarse-resolution hex cell) of each trip's
+first position -- whole trips only, so within-trip transitions never
+cross a shard.  :func:`compute_statistics_sharded` and
+:func:`parallel_fit` then run :func:`repro.core.statistics.partial_statistics`
+per shard -- serially, or fanned out over a process pool -- and merge.
+
+The merged result is exactly equal to the one-shot path for counts,
+transitions and HLL distinct estimates; medians carry the t-digest
+tolerance (see :mod:`repro.core.statistics`).
+
+Process-pool note: on ``fork`` platforms the shards are handed to workers
+through fork-inherited module state, so only the compact partial states
+cross process boundaries, not the row data.  Where ``fork`` is
+unavailable the shards are pickled to the workers instead -- same
+results, more IPC.
+"""
+
+import itertools
+import multiprocessing
+import threading
+from concurrent.futures import ProcessPoolExecutor
+
+import numpy as np
+
+from repro.ais import schema
+from repro.core.statistics import StatisticsState, partial_statistics
+from repro.hexgrid import latlng_to_cell_array
+from repro.minidb.hll import hash_array
+
+__all__ = [
+    "compute_statistics_sharded",
+    "parallel_fit",
+    "shard_trips",
+]
+
+#: How many resolutions coarser than the fit grid the shard prefix is.
+PREFIX_COARSENING = 4
+
+# Shard lists a forked worker reads by (token, index).  Keyed per call so
+# concurrent process-mode fits never see each other's shards; a worker's
+# fork inherits a snapshot taken at pool creation, so entries other calls
+# add or delete afterwards cannot affect it.
+_FORK_SHARDS = {}
+_FORK_LOCK = threading.Lock()
+_FORK_TOKENS = itertools.count()
+
+
+def shard_trips(trips, num_shards, resolution, coarsening=PREFIX_COARSENING):
+    """Partition segmented trips into *num_shards* whole-trip spatial shards.
+
+    Each trip is assigned by the coarse hex cell (``resolution -
+    coarsening``) of its first position, hashed for balance; every row of
+    a trip lands in the same shard, which is what keeps within-trip
+    transitions intact.  Returns a list of tables (some possibly empty).
+    """
+    num_shards = max(int(num_shards), 1)
+    if trips.num_rows == 0 or num_shards == 1:
+        return [trips] + [trips.head(0)] * (num_shards - 1)
+    trip_ids = np.asarray(trips.column(schema.TRIP_ID), dtype=np.int64)
+    _, first_rows, dense = np.unique(trip_ids, return_index=True, return_inverse=True)
+    prefix_res = max(int(resolution) - int(coarsening), 0)
+    coarse = latlng_to_cell_array(
+        np.asarray(trips.column(schema.LAT), dtype=np.float64)[first_rows],
+        np.asarray(trips.column(schema.LON), dtype=np.float64)[first_rows],
+        prefix_res,
+    )
+    shard_of_trip = (hash_array(coarse) % np.uint64(num_shards)).astype(np.int64)
+    shard_of_row = shard_of_trip[dense]
+    return [trips.filter(shard_of_row == s) for s in range(num_shards)]
+
+
+def _partial_worker(args):
+    """Process-pool worker: partial statistics for one shard."""
+    shard, config = args
+    if isinstance(shard, tuple):  # fork path: (token, index) into inherited state
+        token, index = shard
+        shard = _FORK_SHARDS[token][index]
+    return partial_statistics(shard, config)
+
+
+def _map_partials(shards, config, mode, max_workers):
+    if mode == "serial":
+        return [partial_statistics(shard, config) for shard in shards]
+    if mode != "process":
+        raise ValueError(f"unknown mode {mode!r}; use 'serial' or 'process'")
+    workers = max_workers or min(len(shards), multiprocessing.cpu_count() or 1)
+    use_fork = "fork" in multiprocessing.get_all_start_methods()
+    context = multiprocessing.get_context("fork" if use_fork else None)
+    if not use_fork:
+        jobs = [(shard, config) for shard in shards]
+        with ProcessPoolExecutor(max_workers=workers, mp_context=context) as pool:
+            return list(pool.map(_partial_worker, jobs))
+    with _FORK_LOCK:
+        token = next(_FORK_TOKENS)
+        _FORK_SHARDS[token] = shards
+    jobs = [((token, i), config) for i in range(len(shards))]
+    try:
+        with ProcessPoolExecutor(max_workers=workers, mp_context=context) as pool:
+            return list(pool.map(_partial_worker, jobs))
+    finally:
+        with _FORK_LOCK:
+            del _FORK_SHARDS[token]
+
+
+def compute_statistics_sharded(
+    trips, config, num_shards=4, mode="serial", max_workers=None
+):
+    """Sharded :func:`repro.core.statistics.compute_statistics`.
+
+    Splits *trips* with :func:`shard_trips`, computes per-shard partial
+    states (``mode="process"`` fans them over a process pool), and merges.
+    Returns ``(cell_stats, transition_stats)``.
+    """
+    shards = shard_trips(trips, num_shards, config.resolution)
+    states = _map_partials(shards, config, mode, max_workers)
+    return StatisticsState.merged(states).finalize()
+
+
+def parallel_fit(trips, config=None, num_shards=4, mode="serial", max_workers=None):
+    """Fit a :class:`repro.core.HabitImputer` from whole-trip shards.
+
+    The sharded statistics feed ``fit_partial``/``merge``/``finalize``,
+    so the returned model is the same one ``fit_from_trips`` builds (graph
+    arrays bit-identical under the default center projection).
+    """
+    # Imported here: habit.py already imports this package's statistics
+    # sibling, and parallel is a leaf the imputer does not depend on.
+    from repro.core.habit import HabitConfig, HabitImputer
+
+    config = config or HabitConfig()
+    shards = shard_trips(trips, num_shards, config.resolution)
+    states = _map_partials(shards, config, mode, max_workers)
+    imputer = HabitImputer(config)
+    for state in states:
+        imputer.merge(state)
+    return imputer.finalize()

@@ -1,8 +1,10 @@
 """Per-cell and per-transition statistics (the paper's CTE stage).
 
-:func:`compute_statistics` indexes every position into a hex cell at the
-configured resolution, then produces two tables with one
-:mod:`repro.minidb` pass each:
+The fit aggregation is a **partial-aggregate → merge** pipeline:
+:func:`partial_statistics` summarises one shard or streamed chunk of
+segmented trips into a mergeable :class:`StatisticsState`, and
+:func:`merge_statistics` combines any number of states into the two
+tables the cell graph is built from:
 
 - **cell statistics**: support count, distinct vessels (HyperLogLog or
   exact, per ``config.approx_distinct``), and median position/speed/course
@@ -10,15 +12,37 @@ configured resolution, then produces two tables with one
 - **transition statistics**: directed cell pairs observed consecutively
   within a trip, with transition counts and distinct-vessel support --
   the graph's edge list.
+
+:func:`compute_statistics` (the original one-shot entry point) is a thin
+wrapper: one partial state, finalised immediately.  Equivalence between
+the two paths is pinned by tests: counts, transitions and HLL distinct
+estimates are **exactly** equal however the trips were sharded or
+streamed; medians are mergeable t-digest estimates within the tolerance
+documented in :mod:`repro.minidb.tdigest`.
+
+Shard/chunk contract: a shard must contain **whole trips** -- transitions
+are extracted within each chunk, so splitting one trip across two states
+would drop the boundary transition.  :func:`repro.core.parallel.shard_trips`
+and :class:`repro.core.segmentation.StreamingSegmenter` both honour this.
 """
+
+from dataclasses import dataclass
 
 import numpy as np
 
 from repro.ais import schema
 from repro.hexgrid import latlng_to_cell_array
-from repro.minidb import Table, agg
+from repro.minidb import agg, merge_states
+from repro.minidb.partial import GroupState
 
-__all__ = ["CELL", "NEXT_CELL", "compute_statistics"]
+__all__ = [
+    "CELL",
+    "NEXT_CELL",
+    "StatisticsState",
+    "compute_statistics",
+    "merge_statistics",
+    "partial_statistics",
+]
 
 #: Column name for the hex cell id.
 CELL = "cell"
@@ -34,17 +58,110 @@ def _distinct_agg(approx):
     return spec(schema.VESSEL_ID).alias("vessels")
 
 
-def compute_statistics(trips, config):
-    """Aggregate a segmented trip table into (cell_stats, transition_stats).
+def _index_cells(trips, config):
+    """Index every position into a hex cell, rejecting invalid coordinates.
+
+    Non-finite or out-of-range lat/lon cannot be packed into a cell id --
+    they would silently corrupt ``cell_stats`` with garbage cells -- so
+    they raise here instead of propagating.  :func:`repro.core.clean_messages`
+    is the sanctioned filter for dirty feeds; run it first.
+    """
+    lat = np.asarray(trips.column(schema.LAT), dtype=np.float64)
+    lon = np.asarray(trips.column(schema.LON), dtype=np.float64)
+    invalid = ~(
+        np.isfinite(lat) & np.isfinite(lon) & (np.abs(lat) <= 90.0) & (np.abs(lon) <= 180.0)
+    )
+    if np.any(invalid):
+        raise ValueError(
+            f"{int(invalid.sum())} of {len(lat)} positions have non-finite or "
+            "out-of-range lat/lon and cannot be cell-indexed; run "
+            "clean_messages before fitting"
+        )
+    return latlng_to_cell_array(lat, lon, config.resolution)
+
+
+@dataclass(frozen=True)
+class StatisticsState:
+    """Mergeable partial fit state: one shard's cell + transition summaries.
+
+    Instances are immutable; :meth:`merged` returns a new state and never
+    mutates its inputs, so a state can be shared between a served model
+    and an in-progress refresh.
+    """
+
+    cell_state: GroupState
+    transition_state: GroupState
+    resolution: int
+    approx_distinct: bool
+    num_positions: int
+
+    @classmethod
+    def merged(cls, states):
+        """Combine shard states; all must share resolution and distinct mode."""
+        states = list(states)
+        if not states:
+            raise ValueError("StatisticsState.merged needs at least one state")
+        head = states[0]
+        for other in states[1:]:
+            if (
+                other.resolution != head.resolution
+                or other.approx_distinct != head.approx_distinct
+            ):
+                raise ValueError(
+                    "cannot merge statistics fitted at different resolutions "
+                    "or distinct-count modes"
+                )
+        if len(states) == 1:
+            return head
+        return cls(
+            cell_state=merge_states([s.cell_state for s in states]),
+            transition_state=merge_states([s.transition_state for s in states]),
+            resolution=head.resolution,
+            approx_distinct=head.approx_distinct,
+            num_positions=sum(s.num_positions for s in states),
+        )
+
+    def finalize(self):
+        """Render ``(cell_stats, transition_stats)`` tables."""
+        return self.cell_state.finalize(), self.transition_state.finalize()
+
+    # -- persistence (ridden by model files) ------------------------------
+
+    def payload(self, prefix="state_"):
+        """Flat array mapping for ``np.savez``-style persistence."""
+        out = {
+            prefix
+            + "meta": np.array(
+                [str(self.resolution), str(int(self.approx_distinct)), str(self.num_positions)]
+            )
+        }
+        out.update(self.cell_state.payload(prefix + "cell_"))
+        out.update(self.transition_state.payload(prefix + "tr_"))
+        return out
+
+    @classmethod
+    def from_payload(cls, data, prefix="state_"):
+        """Rebuild a state from a :meth:`payload` mapping (dict or npz)."""
+        meta = np.asarray(data[prefix + "meta"])
+        return cls(
+            cell_state=GroupState.from_payload(data, prefix + "cell_"),
+            transition_state=GroupState.from_payload(data, prefix + "tr_"),
+            resolution=int(meta[0]),
+            approx_distinct=bool(int(meta[1])),
+            num_positions=int(meta[2]),
+        )
+
+
+def partial_statistics(trips, config):
+    """Summarise one shard/chunk of segmented trips into a mergeable state.
 
     *config* is a :class:`repro.core.habit.HabitConfig`; its ``resolution``
     picks the grid and ``approx_distinct`` picks the distinct-count kernel.
+    The chunk must hold whole trips (see the module docstring).
     """
-    cells = latlng_to_cell_array(
-        trips.column(schema.LAT), trips.column(schema.LON), config.resolution
-    )
+    cells = _index_cells(trips, config)
     indexed = trips.with_columns(**{CELL: cells})
-    cell_stats = indexed.group_by(CELL).agg(
+    cell_state = indexed.group_by(CELL).partial(
         agg.count(),
         _distinct_agg(config.approx_distinct),
         agg.median(schema.LAT).alias("median_lat"),
@@ -53,25 +170,37 @@ def compute_statistics(trips, config):
         agg.median(schema.COG).alias("median_cog"),
     )
 
-    nxt = indexed.lag(CELL, schema.TRIP_ID, schema.T, -1, _NO_CELL)
-    moved = (nxt != _NO_CELL) & (nxt != cells)
-    if not np.any(moved):
-        transition_stats = Table(
-            {
-                CELL: np.zeros(0, dtype=np.int64),
-                NEXT_CELL: np.zeros(0, dtype=np.int64),
-                "transitions": np.zeros(0, dtype=np.int64),
-                "vessels": np.zeros(0, dtype=np.int64),
-            }
-        )
-        return cell_stats, transition_stats
-
-    pairs = indexed.filter(moved).with_columns(**{NEXT_CELL: nxt[moved]})
-    transition_stats = pairs.group_by(CELL, NEXT_CELL).agg(
+    if trips.num_rows:
+        nxt = indexed.lag(CELL, schema.TRIP_ID, schema.T, -1, _NO_CELL)
+        moved = (nxt != _NO_CELL) & (nxt != cells)
+        pairs = indexed.filter(moved).with_columns(**{NEXT_CELL: nxt[moved]})
+    else:
+        pairs = indexed.with_columns(**{NEXT_CELL: cells})
+    transition_state = pairs.group_by(CELL, NEXT_CELL).partial(
         agg.count().alias("transitions"),
         _distinct_agg(config.approx_distinct),
     )
-    return cell_stats, transition_stats
+    return StatisticsState(
+        cell_state=cell_state,
+        transition_state=transition_state,
+        resolution=config.resolution,
+        approx_distinct=config.approx_distinct,
+        num_positions=trips.num_rows,
+    )
+
+
+def merge_statistics(states):
+    """Merge shard states and render ``(cell_stats, transition_stats)``."""
+    return StatisticsState.merged(states).finalize()
+
+
+def compute_statistics(trips, config):
+    """One-shot aggregation: a single partial state, finalised immediately.
+
+    Kept as the simple entry point; the sharded/streamed paths produce
+    identical counts, transitions and HLL estimates (see module docstring).
+    """
+    return partial_statistics(trips, config).finalize()
 
 
 def cell_medians(cell_stats):

@@ -42,6 +42,9 @@ class TypedHabitImputer:
         self.min_group_rows = min_group_rows
         self.by_type = {}
         self.fallback = None
+        #: Serving provenance parity with :class:`HabitImputer`; typed
+        #: models have no incremental-refresh path yet, so this stays 1.
+        self.revision = 1
 
     @property
     def fitted_groups(self):

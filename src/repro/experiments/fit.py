@@ -11,7 +11,7 @@ import time
 from dataclasses import dataclass
 from pathlib import Path
 
-from repro.core import HabitConfig, HabitImputer
+from repro.core import HabitConfig, HabitImputer, TypedHabitImputer
 from repro.experiments import common
 from repro.service.registry import ModelRegistry
 
@@ -30,15 +30,28 @@ class FitReport:
     train_rows: int
 
 
-def fit_habit(dataset, config=None, scale=1.0, seed=0, cache_dir=None):
-    """Prepare *dataset* and fit a :class:`HabitImputer` on its train split."""
+def fit_habit(dataset, config=None, scale=1.0, seed=0, cache_dir=None, typed=False):
+    """Prepare *dataset* and fit an imputer on its train split.
+
+    With *typed*, a :class:`TypedHabitImputer` (one graph per vessel
+    class plus a global fallback) is fitted instead of the plain model.
+    """
     config = config or HabitConfig()
     prepared = common.prepare(dataset, scale=scale, cache_dir=cache_dir, seed=seed)
-    imputer = HabitImputer(config).fit_from_trips(prepared.train)
+    cls = TypedHabitImputer if typed else HabitImputer
+    imputer = cls(config).fit_from_trips(prepared.train)
     return imputer, prepared
 
 
-def fit_and_save(dataset, config=None, registry_dir="models", scale=1.0, seed=0, cache_dir=None):
+def fit_and_save(
+    dataset,
+    config=None,
+    registry_dir="models",
+    scale=1.0,
+    seed=0,
+    cache_dir=None,
+    typed=False,
+):
     """Fit *dataset* and publish the model into *registry_dir*.
 
     Returns a :class:`FitReport`; the published ``.npz`` is immediately
@@ -46,7 +59,7 @@ def fit_and_save(dataset, config=None, registry_dir="models", scale=1.0, seed=0,
     """
     started = time.perf_counter()
     imputer, prepared = fit_habit(
-        dataset, config=config, scale=scale, seed=seed, cache_dir=cache_dir
+        dataset, config=config, scale=scale, seed=seed, cache_dir=cache_dir, typed=typed
     )
     model_id, path = ModelRegistry(registry_dir).publish(dataset, imputer)
     return FitReport(
@@ -60,11 +73,20 @@ def fit_and_save(dataset, config=None, registry_dir="models", scale=1.0, seed=0,
 
 
 def dataset_fitter(scale=1.0, seed=0, cache_dir=None):
-    """A ``fitter(dataset, config)`` callback for registry fit-on-miss."""
+    """A ``fitter(dataset, config, typed=False)`` fit-on-miss callback.
 
-    def fit(dataset, config):
+    The registry passes ``typed=True`` when a typed model misses, so one
+    callback serves both model kinds.
+    """
+
+    def fit(dataset, config, typed=False):
         imputer, _ = fit_habit(
-            dataset, config=config, scale=scale, seed=seed, cache_dir=cache_dir
+            dataset,
+            config=config,
+            scale=scale,
+            seed=seed,
+            cache_dir=cache_dir,
+            typed=typed,
         )
         return imputer
 

@@ -17,7 +17,14 @@ Both use the classic Flajolet et al. estimator with the small-range
 
 import numpy as np
 
-__all__ = ["HyperLogLog", "grouped_approx_count_distinct", "hash_array"]
+__all__ = [
+    "HyperLogLog",
+    "estimate_from_register_pairs",
+    "grouped_approx_count_distinct",
+    "grouped_register_pairs",
+    "hash_array",
+    "merge_register_pairs",
+]
 
 #: Default precision: 2**12 registers, ~1.6% relative standard error.
 DEFAULT_P = 12
@@ -113,29 +120,52 @@ class HyperLogLog:
         return float(_estimate(self.m, powers.sum(), np.asarray(zeros)))
 
 
+def merge_register_pairs(keys, rho):
+    """Max-reduce sparse ``(register key, rank)`` pairs onto unique keys.
+
+    The sparse pair representation *is* the mergeable HLL state: states
+    union by concatenating their pairs and re-reducing, and the reduced
+    pairs are identical whether the rows arrived in one pass or many --
+    the property the shard-and-merge fit relies on for exact equivalence.
+    Returns ``(keys, rho)`` sorted by key.
+    """
+    keys = np.asarray(keys, dtype=np.int64)
+    rho = np.asarray(rho, dtype=np.int64)
+    # Sort by (key, rho); the last row of each key run carries the max rank.
+    order = np.lexsort((rho, keys))
+    sorted_keys = keys[order]
+    sorted_rho = rho[order]
+    last = np.ones(len(sorted_keys), dtype=bool)
+    last[:-1] = sorted_keys[:-1] != sorted_keys[1:]
+    return sorted_keys[last], sorted_rho[last]
+
+
+def grouped_register_pairs(codes, values, p=DEFAULT_P):
+    """Sparse per-group HLL state: ``(group * m + register, max rank)`` pairs."""
+    codes = np.asarray(codes, dtype=np.int64)
+    m = 1 << p
+    idx, rho = _register_parts(hash_array(values), p)
+    return merge_register_pairs(codes * m + idx, rho.astype(np.int64))
+
+
+def estimate_from_register_pairs(keys, rho, num_groups, p=DEFAULT_P):
+    """Per-group cardinality estimates from reduced register pairs."""
+    m = 1 << p
+    group_of_reg = keys // m
+    sum_pow = np.bincount(
+        group_of_reg, weights=np.ldexp(1.0, -rho), minlength=num_groups
+    )
+    occupied = np.bincount(group_of_reg, minlength=num_groups)
+    zeros = m - occupied
+    sum_pow = sum_pow + zeros  # absent registers contribute 2**0 each
+    return _estimate(m, sum_pow, zeros)
+
+
 def grouped_approx_count_distinct(codes, num_groups, values, p=DEFAULT_P):
     """Per-group HLL distinct estimates without dense register matrices.
 
     ``codes`` assigns each row to a group in ``[0, num_groups)``.  Returns a
     float64 array of estimates, one per group.
     """
-    codes = np.asarray(codes, dtype=np.int64)
-    m = 1 << p
-    idx, rho = _register_parts(hash_array(values), p)
-    keys = codes * m + idx
-    # Sort by (key, rho); the last row of each key run carries the max rank.
-    order = np.lexsort((rho, keys))
-    sorted_keys = keys[order]
-    sorted_rho = rho[order].astype(np.int64)
-    last = np.ones(len(sorted_keys), dtype=bool)
-    last[:-1] = sorted_keys[:-1] != sorted_keys[1:]
-    reg_keys = sorted_keys[last]
-    reg_rho = sorted_rho[last]
-    group_of_reg = reg_keys // m
-    sum_pow = np.bincount(
-        group_of_reg, weights=np.ldexp(1.0, -reg_rho), minlength=num_groups
-    )
-    occupied = np.bincount(group_of_reg, minlength=num_groups)
-    zeros = m - occupied
-    sum_pow = sum_pow + zeros  # absent registers contribute 2**0 each
-    return _estimate(m, sum_pow, zeros)
+    keys, rho = grouped_register_pairs(codes, values, p)
+    return estimate_from_register_pairs(keys, rho, num_groups, p)

@@ -1,0 +1,356 @@
+"""Mergeable partial group-by states (the shard-and-merge aggregation path).
+
+The eager :meth:`repro.minidb.Table.group_by(...).agg(...)
+<repro.minidb.table.GroupBy.agg>` path needs every row in memory at once.
+:meth:`~repro.minidb.table.GroupBy.partial` instead produces a
+:class:`GroupState` -- a compact, serialisable summary of the same
+aggregates over *one shard or chunk* of the rows -- and
+:func:`merge_states` combines any number of states into one, however the
+rows were partitioned.  ``state.finalize()`` renders the merged state as
+the same table ``agg`` would have produced.
+
+Equivalence contract (pinned by tests):
+
+- ``count`` / ``count_distinct`` / ``min`` / ``max`` / ``first`` and the
+  HyperLogLog ``approx_count_distinct`` are **exactly** equal to the
+  eager one-shot result, bit for bit, for any partition of the rows.
+- ``sum`` / ``mean`` agree up to float summation order.
+- ``median`` is held as a mergeable t-digest
+  (:mod:`repro.minidb.tdigest`), so it is approximate: the returned value
+  lies within a rank error of about ``pi / delta`` of the exact median
+  (exact when no centroids collided, i.e. small groups).
+
+States carry their group *keys by value*, not by code -- group codes are
+local to each shard and are re-factorised on merge -- and serialise to a
+flat ``{name: array}`` payload (:meth:`GroupState.payload` /
+:meth:`GroupState.from_payload`) so fit states can ride inside model
+files.
+"""
+
+import json
+
+import numpy as np
+
+from repro.minidb.hll import (
+    DEFAULT_P,
+    estimate_from_register_pairs,
+    grouped_register_pairs,
+    merge_register_pairs,
+)
+from repro.minidb.tdigest import DEFAULT_DELTA, GroupedTDigest
+
+__all__ = ["GroupState", "merge_states"]
+
+#: Aggregate kinds with a mergeable state (every kind in ``minidb.agg``).
+MERGEABLE_KINDS = frozenset(
+    {
+        "count",
+        "sum",
+        "mean",
+        "min",
+        "max",
+        "first",
+        "median",
+        "count_distinct",
+        "approx_count_distinct",
+    }
+)
+
+
+def _unique_pairs(codes, values):
+    """Deduplicate (group code, value) pairs; the exact-distinct state.
+
+    Returns the pairs sorted by (code, value), which both the build and
+    merge paths rely on for deterministic, order-identical states.
+    """
+    order = np.lexsort((values, codes))
+    g, v = codes[order], values[order]
+    fresh = np.ones(len(g), dtype=bool)
+    fresh[1:] = (g[1:] != g[:-1]) | (v[1:] != v[:-1])
+    return g[fresh], v[fresh]
+
+
+class GroupState:
+    """Partial aggregates for one shard, keyed by group-key values."""
+
+    def __init__(self, key_names, key_columns, specs, counts, data):
+        self.key_names = tuple(key_names)
+        self.key_columns = dict(key_columns)
+        self.specs = tuple(specs)
+        self.counts = np.asarray(counts, dtype=np.int64)
+        self.data = dict(data)
+
+    @property
+    def num_groups(self):
+        """Groups summarised by this state."""
+        return len(self.counts)
+
+    def __repr__(self):
+        names = ", ".join(s.name for s in self.specs)
+        return f"GroupState({self.num_groups} groups: {names})"
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def from_table(cls, table, key_names, specs):
+        """Build the partial state one shard of rows contributes.
+
+        This is the kernel behind
+        :meth:`repro.minidb.table.GroupBy.partial`.
+        """
+        # Local import: table.py lazily imports this module for .partial().
+        from repro.minidb.table import _factorize_keys, _run_agg
+
+        unknown = [s.kind for s in specs if s.kind not in MERGEABLE_KINDS]
+        if unknown:
+            raise ValueError(f"aggregate kinds {unknown} have no mergeable state")
+        codes, key_columns = _factorize_keys(table, key_names)
+        num_groups = len(next(iter(key_columns.values()))) if key_columns else 0
+        counts = np.bincount(codes, minlength=num_groups).astype(np.int64)
+        sorted_cache = {}
+        data = {}
+        for spec in specs:
+            kind = spec.kind
+            if kind == "count":
+                state = None
+            elif kind in ("sum", "mean"):
+                values = table.column(spec.column)
+                state = {"sum": np.bincount(codes, weights=values, minlength=num_groups)}
+            elif kind in ("min", "max", "first"):
+                state = {"values": _run_agg(table, spec, codes, num_groups, counts, sorted_cache)}
+            elif kind == "median":
+                state = {
+                    "digest": GroupedTDigest.from_values(
+                        codes, table.column(spec.column), num_groups, DEFAULT_DELTA
+                    )
+                }
+            elif kind == "count_distinct":
+                pair_codes, pair_values = _unique_pairs(codes, table.column(spec.column))
+                state = {"codes": pair_codes, "values": pair_values}
+            else:  # approx_count_distinct
+                keys, rho = grouped_register_pairs(codes, table.column(spec.column))
+                state = {"keys": keys, "rho": rho, "p": DEFAULT_P}
+            data[spec.name] = state
+        return cls(key_names, key_columns, specs, counts, data)
+
+    # -- finalisation ------------------------------------------------------
+
+    def finalize(self):
+        """Render the state as the table ``group_by(...).agg(...)`` returns."""
+        from repro.minidb.table import Table
+
+        out = dict(self.key_columns)
+        counts = self.counts
+        for spec in self.specs:
+            kind = spec.kind
+            state = self.data[spec.name]
+            if kind == "count":
+                column = counts.copy()
+            elif kind == "sum":
+                column = state["sum"].copy()
+            elif kind == "mean":
+                column = state["sum"] / np.maximum(counts, 1)
+            elif kind in ("min", "max", "first"):
+                column = state["values"]
+            elif kind == "median":
+                column = state["digest"].medians()
+            elif kind == "count_distinct":
+                column = np.bincount(
+                    state["codes"], minlength=self.num_groups
+                ).astype(np.int64)
+            else:  # approx_count_distinct
+                column = estimate_from_register_pairs(
+                    state["keys"], state["rho"], self.num_groups, state["p"]
+                )
+            out[spec.name] = column
+        return Table(out)
+
+    # -- serialisation -----------------------------------------------------
+
+    def payload(self, prefix=""):
+        """Flat ``{name: array}`` view for ``np.savez``-style persistence."""
+        manifest = {
+            "key_names": list(self.key_names),
+            "specs": [
+                {"kind": s.kind, "column": s.column, "name": s.name} for s in self.specs
+            ],
+        }
+        out = {prefix + "manifest": np.array([json.dumps(manifest)])}
+        for name in self.key_names:
+            out[f"{prefix}key_{name}"] = self.key_columns[name]
+        out[prefix + "counts"] = self.counts
+        for i, spec in enumerate(self.specs):
+            state = self.data[spec.name]
+            tag = f"{prefix}s{i}_"
+            if spec.kind == "count":
+                continue
+            if spec.kind in ("sum", "mean"):
+                out[tag + "sum"] = state["sum"]
+            elif spec.kind in ("min", "max", "first"):
+                out[tag + "values"] = state["values"]
+            elif spec.kind == "median":
+                digest = state["digest"]
+                out[tag + "codes"] = digest.codes
+                out[tag + "means"] = digest.means
+                out[tag + "weights"] = digest.weights
+                out[tag + "delta"] = np.array([digest.delta], dtype=np.int64)
+            elif spec.kind == "count_distinct":
+                out[tag + "codes"] = state["codes"]
+                out[tag + "values"] = state["values"]
+            else:  # approx_count_distinct
+                out[tag + "keys"] = state["keys"]
+                out[tag + "rho"] = state["rho"]
+                out[tag + "p"] = np.array([state["p"]], dtype=np.int64)
+        return out
+
+    @classmethod
+    def from_payload(cls, data, prefix=""):
+        """Rebuild a state from a :meth:`payload` mapping (dict or npz)."""
+        from repro.minidb.agg import AggSpec
+
+        manifest = json.loads(str(np.asarray(data[prefix + "manifest"])[0]))
+        key_names = tuple(manifest["key_names"])
+        specs = tuple(
+            AggSpec(s["kind"], s["column"], s["name"]) for s in manifest["specs"]
+        )
+        key_columns = {name: np.asarray(data[f"{prefix}key_{name}"]) for name in key_names}
+        counts = np.asarray(data[prefix + "counts"])
+        num_groups = len(counts)
+        state_data = {}
+        for i, spec in enumerate(specs):
+            tag = f"{prefix}s{i}_"
+            if spec.kind == "count":
+                state = None
+            elif spec.kind in ("sum", "mean"):
+                state = {"sum": np.asarray(data[tag + "sum"])}
+            elif spec.kind in ("min", "max", "first"):
+                state = {"values": np.asarray(data[tag + "values"])}
+            elif spec.kind == "median":
+                state = {
+                    "digest": GroupedTDigest(
+                        np.asarray(data[tag + "codes"]),
+                        np.asarray(data[tag + "means"]),
+                        np.asarray(data[tag + "weights"]),
+                        num_groups,
+                        int(np.asarray(data[tag + "delta"])[0]),
+                    )
+                }
+            elif spec.kind == "count_distinct":
+                state = {
+                    "codes": np.asarray(data[tag + "codes"]),
+                    "values": np.asarray(data[tag + "values"]),
+                }
+            else:
+                state = {
+                    "keys": np.asarray(data[tag + "keys"]),
+                    "rho": np.asarray(data[tag + "rho"]),
+                    "p": int(np.asarray(data[tag + "p"])[0]),
+                }
+            state_data[spec.name] = state
+        return cls(key_names, key_columns, specs, counts, state_data)
+
+
+def merge_states(states):
+    """Merge :class:`GroupState` shards into one state over the union of groups.
+
+    All states must share key names and aggregate specs.  ``first``
+    resolves ties by argument order (the earliest state owning a group
+    wins), matching a concatenation of the shards in that order.
+    """
+    states = [s for s in states if s is not None]
+    if not states:
+        raise ValueError("merge_states needs at least one state")
+    head = states[0]
+    for other in states[1:]:
+        if other.key_names != head.key_names or [
+            (s.kind, s.column, s.name) for s in other.specs
+        ] != [(s.kind, s.column, s.name) for s in head.specs]:
+            raise ValueError("cannot merge states with different keys or aggregates")
+    if len(states) == 1:
+        return head
+
+    from repro.minidb.table import Table, _factorize_keys
+
+    # Re-factorise the union of group keys; `maps[i]` sends state i's
+    # local group index to the merged (key-sorted) group index.
+    stacked = Table(
+        {
+            name: np.concatenate([s.key_columns[name] for s in states])
+            for name in head.key_names
+        }
+    )
+    codes, key_columns = _factorize_keys(stacked, head.key_names)
+    num_groups = len(next(iter(key_columns.values()))) if key_columns else 0
+    maps = []
+    offset = 0
+    for state in states:
+        maps.append(codes[offset : offset + state.num_groups])
+        offset += state.num_groups
+
+    counts = np.zeros(num_groups, dtype=np.int64)
+    for state, mapping in zip(states, maps):
+        np.add.at(counts, mapping, state.counts)
+
+    data = {}
+    for spec in head.specs:
+        kind = spec.kind
+        parts = [s.data[spec.name] for s in states]
+        if kind == "count":
+            state = None
+        elif kind in ("sum", "mean"):
+            total = np.zeros(num_groups, dtype=np.float64)
+            for part, mapping in zip(parts, maps):
+                np.add.at(total, mapping, part["sum"])
+            state = {"sum": total}
+        elif kind in ("min", "max", "first"):
+            state = {"values": _merge_extrema(kind, parts, maps, num_groups)}
+        elif kind == "median":
+            state = {
+                "digest": GroupedTDigest.merged(
+                    [p["digest"] for p in parts], maps, num_groups
+                )
+            }
+        elif kind == "count_distinct":
+            pair_codes, pair_values = _unique_pairs(
+                np.concatenate([m[p["codes"]] for p, m in zip(parts, maps)]),
+                np.concatenate([p["values"] for p in parts]),
+            )
+            state = {"codes": pair_codes, "values": pair_values}
+        else:  # approx_count_distinct
+            p_bits = parts[0]["p"]
+            if any(part["p"] != p_bits for part in parts):
+                raise ValueError("cannot merge HLL states of different precision")
+            m = 1 << p_bits
+            keys = np.concatenate(
+                [
+                    mapping[part["keys"] // m] * m + part["keys"] % m
+                    for part, mapping in zip(parts, maps)
+                ]
+            )
+            rho = np.concatenate([part["rho"] for part in parts])
+            merged_keys, merged_rho = merge_register_pairs(keys, rho)
+            state = {"keys": merged_keys, "rho": merged_rho, "p": p_bits}
+        data[spec.name] = state
+    return GroupState(head.key_names, key_columns, head.specs, counts, data)
+
+
+def _merge_extrema(kind, parts, maps, num_groups):
+    """Merge per-group min/max/first values across states."""
+    codes = np.concatenate([m for m in maps])
+    values = np.concatenate([p["values"] for p in parts])
+    if kind == "first":
+        # Earliest state owning the group wins: sort by (group, state index).
+        state_idx = np.concatenate(
+            [np.full(len(m), i, dtype=np.int64) for i, m in enumerate(maps)]
+        )
+        order = np.lexsort((state_idx, codes))
+    else:
+        order = np.lexsort((values, codes))
+    g, v = codes[order], values[order]
+    starts = np.ones(len(g), dtype=bool)
+    starts[1:] = g[1:] != g[:-1]
+    if kind == "max":
+        ends = np.ones(len(g), dtype=bool)
+        ends[:-1] = g[:-1] != g[1:]
+        return v[ends]
+    return v[starts]

@@ -182,6 +182,20 @@ class GroupBy:
             )
         return Table(out)
 
+    def partial(self, *specs):
+        """Partial-aggregate this shard into a mergeable state.
+
+        Returns a :class:`repro.minidb.partial.GroupState`; combine shard
+        states with :func:`repro.minidb.merge_states` and render the final
+        table with ``state.finalize()``.  Medians become t-digest
+        approximations on this path; every other kernel merges exactly.
+        """
+        # Imported lazily: partial.py builds its states with this module's
+        # kernels, so a top-level import would be circular.
+        from repro.minidb.partial import GroupState
+
+        return GroupState.from_table(self._table, self._key_names, specs)
+
 
 def _factorize_keys(table, key_names):
     """Combine one or more key columns into dense group codes."""

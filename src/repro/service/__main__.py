@@ -31,6 +31,11 @@ def _build_parser():
         metavar="DATASET",
         help="fit-and-save this dataset (repeatable; DAN, KIEL, SAR)",
     )
+    parser.add_argument(
+        "--typed",
+        action="store_true",
+        help="fit TypedHabitImputer models (per-vessel-class graphs) instead of plain",
+    )
     parser.add_argument("--serve", action="store_true", help="start the HTTP daemon")
     parser.add_argument(
         "--registry",
@@ -107,6 +112,7 @@ def main(argv=None):
                 scale=args.scale,
                 seed=args.seed,
                 cache_dir=args.data_cache,
+                typed=args.typed,
             )
             print(
                 f"fitted {report.model_id} -> {report.path} "

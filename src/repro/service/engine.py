@@ -1,9 +1,10 @@
 """Batch imputation engine: many gap requests, one model resolution each.
 
 The engine is the service's query executor.  A batch is grouped by
-dataset so each model is resolved through the registry exactly once (one
-cache probe / disk load / fit per model, however many gaps ride on it),
-then the per-gap imputations fan out over a thread pool.  Fitted
+``(dataset, typed)`` so each model -- plain or typed -- is resolved
+through the registry exactly once (one cache probe / disk load / fit per
+model, however many gaps ride on it), then the per-gap imputations fan
+out over a thread pool.  Fitted
 imputers are read-only, so concurrent ``impute`` calls on one model are
 safe; single-request batches skip the pool entirely.
 
@@ -42,16 +43,21 @@ class BatchImputationEngine:
         config = config or HabitConfig()
         models = {}
         for request in requests:
-            key = request.dataset.upper()
+            key = (request.dataset.upper(), request.typed)
             if key not in models:
-                models[key] = self.registry.get(request.dataset, config)
+                models[key] = self.registry.get(
+                    request.dataset, config, typed=request.typed
+                )
         if len(requests) <= 1:
-            return [self._impute_one(models[r.dataset.upper()], r) for r in requests]
+            return [
+                self._impute_one(models[(r.dataset.upper(), r.typed)], r)
+                for r in requests
+            ]
         workers = min(self.max_workers, len(requests))
         with ThreadPoolExecutor(max_workers=workers) as pool:
             return list(
                 pool.map(
-                    lambda r: self._impute_one(models[r.dataset.upper()], r),
+                    lambda r: self._impute_one(models[(r.dataset.upper(), r.typed)], r),
                     requests,
                 )
             )
@@ -59,7 +65,10 @@ class BatchImputationEngine:
     def _impute_one(self, resolved, request):
         imputer, model_id, source = resolved
         started = time.perf_counter()
-        path = imputer.impute(request.start, request.end)
+        if request.typed:
+            path = imputer.impute(request.start, request.end, request.vessel_type)
+        else:
+            path = imputer.impute(request.start, request.end)
         elapsed_ms = (time.perf_counter() - started) * 1e3
         provenance = Provenance(
             model_id=model_id,
@@ -69,6 +78,7 @@ class BatchImputationEngine:
             num_cells=len(path.cells),
             path_length_m=float(path_length_m(path.lats, path.lngs)),
             elapsed_ms=elapsed_ms,
+            revision=getattr(imputer, "revision", 1),
         )
         return ImputeResult(
             request=request, lats=path.lats, lngs=path.lngs, provenance=provenance

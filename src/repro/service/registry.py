@@ -1,55 +1,77 @@
 """Model registry: fit-once / serve-many over ``.npz``-serialised models.
 
-A registry owns one directory of fitted :class:`repro.core.HabitImputer`
-models, one file per ``(dataset, config)`` pair.  The file name *is* the
-model id -- ``{DATASET}_{config_hash}.npz`` -- so any process pointed at
-the same directory resolves the same ids without coordination.
+A registry owns one directory of fitted models -- plain
+:class:`repro.core.HabitImputer` and typed
+:class:`repro.core.TypedHabitImputer` alike -- one file per
+``(dataset, config, typed)`` triple.  The file name *is* the model id --
+``{DATASET}_{config_hash}.npz``, with a ``_TYPED`` marker for typed
+models -- so any process pointed at the same directory resolves the same
+ids without coordination.
 
 :meth:`ModelRegistry.get` resolves a model through three tiers:
 
 1. in-memory LRU cache (``"hit"``),
 2. the registry directory (``"load"``),
 3. an optional ``fitter(dataset, config)`` callback that fits on miss and
-   publishes the result for every later process (``"fit"``).
+   publishes the result for every later process (``"fit"``).  A fitter
+   that also accepts ``typed=True`` serves typed misses too.
+
+:meth:`ModelRegistry.refresh` is the incremental path: it merges a chunk
+of newly arrived (segmented) trips into the resolved model's fit state,
+rebuilds the graph, bumps the model ``revision`` -- surfaced in response
+provenance -- and republishes.  The served instance is never mutated:
+the refreshed model *replaces* it in cache and on disk, so in-flight
+queries keep reading the old read-only graph.
 
 Cache bookkeeping is guarded by one registry lock, while slow work
-(disk loads, fits) runs outside it under a per-model-id lock -- a cold
-fit never blocks cache hits on other models or ``/healthz``, and
-concurrent misses on the same model dedupe to one load/fit.  Imputers
-themselves are read-only after fit, and in-flight queries keep evicted
-models alive by reference.
+(disk loads, fits, refreshes) runs outside it under a per-model-id lock --
+a cold fit never blocks cache hits on other models or ``/healthz``, and
+concurrent misses on the same model dedupe to one load/fit.
 """
 
+import inspect
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from pathlib import Path
 
-from repro.core import HabitImputer, ModelFormatError, config_hash
+from repro.core import (
+    HabitConfig,
+    HabitImputer,
+    ModelFormatError,
+    TypedHabitImputer,
+    config_hash,
+)
 
 __all__ = ["ModelNotFound", "ModelRegistry", "RegistryStats"]
+
+#: Model-id marker separating typed multi-graph models from plain ones.
+_TYPED_TAG = "_TYPED"
 
 
 class ModelNotFound(KeyError):
     """No cached, on-disk, or fittable model matches the request."""
 
-    def __init__(self, dataset, digest):
+    def __init__(self, dataset, digest, typed=False):
         self.dataset = dataset
         self.digest = digest
+        self.typed = typed
+        kind = "typed model" if typed else "model"
         super().__init__(
-            f"no model for dataset {dataset!r} with config hash {digest}; "
+            f"no {kind} for dataset {dataset!r} with config hash {digest}; "
             "fit one first (python -m repro.service --fit) or enable fit-on-miss"
         )
 
 
 @dataclass(frozen=True)
 class RegistryStats:
-    """Counters for the three resolution tiers plus evictions."""
+    """Counters for the three resolution tiers plus evictions/refreshes."""
 
     hits: int
     loads: int
     fits: int
     evictions: int
+    refreshes: int = 0
 
 
 class ModelRegistry:
@@ -60,34 +82,38 @@ class ModelRegistry:
         self.root.mkdir(parents=True, exist_ok=True)
         self.capacity = max(int(capacity), 1)
         self.fitter = fitter
-        self._cache = OrderedDict()  # model_id -> HabitImputer
+        self._cache = OrderedDict()  # model_id -> imputer
         self._lock = threading.RLock()
-        # One lock per model id serialises its load/fit without holding
-        # the registry lock; entries are tiny and bounded by distinct
-        # models seen, so they are never reclaimed.
+        # One lock per model id serialises its load/fit/refresh without
+        # holding the registry lock; entries are tiny and bounded by
+        # distinct models seen, so they are never reclaimed.
         self._resolving = {}
         self._hits = self._loads = self._fits = self._evictions = 0
+        self._refreshes = 0
 
     # -- naming -----------------------------------------------------------
 
     @staticmethod
-    def model_id(dataset, config):
-        """Canonical id: dataset name (upper) + stable config hash."""
-        return f"{str(dataset).upper()}_{config_hash(config)}"
+    def model_id(dataset, config, typed=False):
+        """Canonical id: dataset name (upper), typed marker, config hash."""
+        tag = _TYPED_TAG if typed else ""
+        return f"{str(dataset).upper()}{tag}_{config_hash(config)}"
 
-    def path_for(self, dataset, config):
-        """Where the model for ``(dataset, config)`` lives on disk."""
-        return self.root / f"{self.model_id(dataset, config)}.npz"
+    def path_for(self, dataset, config, typed=False):
+        """Where the model for ``(dataset, config, typed)`` lives on disk."""
+        return self.root / f"{self.model_id(dataset, config, typed)}.npz"
 
     # -- population -------------------------------------------------------
 
     def publish(self, dataset, imputer):
         """Serialise a fitted imputer into the registry; returns ``(id, path)``.
 
-        The model is also inserted into the in-memory cache so the
-        publishing process serves it warm immediately.
+        Typed imputers are recognised by type and published under the
+        typed id.  The model is also inserted into the in-memory cache so
+        the publishing process serves it warm immediately.
         """
-        model_id = self.model_id(dataset, imputer.config)
+        typed = isinstance(imputer, TypedHabitImputer)
+        model_id = self.model_id(dataset, imputer.config, typed)
         path = imputer.save(self.root / f"{model_id}.npz")
         with self._lock:
             self._insert(model_id, imputer)
@@ -95,31 +121,30 @@ class ModelRegistry:
 
     # -- resolution -------------------------------------------------------
 
-    def get(self, dataset, config):
-        """Resolve ``(dataset, config)``; returns ``(imputer, id, source)``.
+    def get(self, dataset, config, typed=False):
+        """Resolve ``(dataset, config, typed)``; returns ``(imputer, id, source)``.
 
         ``source`` is ``"hit"``, ``"load"``, or ``"fit"`` -- surfaced in
         response provenance so clients can see cold starts.  An
-        unreadable file on disk (interrupted save, pre-versioning model)
-        falls through to the fitter when one is configured -- a corrupt
+        unreadable file on disk (interrupted save, stale format) falls
+        through to the fitter when one is configured -- a corrupt
         artefact must not poison its model id.  Raises
         :class:`ModelNotFound` when all three tiers miss.
         """
-        model_id = self.model_id(dataset, config)
+        model_id = self.model_id(dataset, config, typed)
         hit = self._cached(model_id)
         if hit is not None:
             return hit
-        with self._lock:
-            resolving = self._resolving.setdefault(model_id, threading.Lock())
-        with resolving:
+        with self._model_lock(model_id):
             # Another thread may have resolved it while we waited.
             hit = self._cached(model_id)
             if hit is not None:
                 return hit
             path = self.root / f"{model_id}.npz"
+            loader = TypedHabitImputer if typed else HabitImputer
             if path.exists():
                 try:
-                    imputer = HabitImputer.load(path)
+                    imputer = loader.load(path)
                 except ModelFormatError:
                     if self.fitter is None:
                         raise
@@ -128,14 +153,69 @@ class ModelRegistry:
                         self._loads += 1
                         self._insert(model_id, imputer)
                     return imputer, model_id, "load"
-            if self.fitter is not None:
-                imputer = self.fitter(dataset, config)
+            imputer = self._fit_on_miss(dataset, config, typed)
+            if imputer is not None:
                 imputer.save(path)
                 with self._lock:
                     self._fits += 1
                     self._insert(model_id, imputer)
                 return imputer, model_id, "fit"
-        raise ModelNotFound(dataset, config_hash(config))
+        raise ModelNotFound(dataset, config_hash(config), typed)
+
+    def refresh(self, dataset, chunk, config=None, typed=False):
+        """Merge newly arrived segmented trips into a served model.
+
+        Resolves the model like :meth:`get`, folds *chunk* (a segmented
+        trip table, e.g. one :class:`repro.core.StreamingSegmenter`
+        emission) into its fit state, bumps the model ``revision``, and
+        republishes to cache and disk.  Returns
+        ``(imputer, model_id, revision)``.
+
+        Typed models have no incremental path yet and raise
+        ``ValueError``; so do models whose file was saved without fit
+        state.
+        """
+        if typed:
+            raise ValueError("typed models cannot be refreshed incrementally yet")
+        config = config or HabitConfig()
+        model_id = self.model_id(dataset, config)
+        base, _, _ = self.get(dataset, config)
+        with self._model_lock(model_id):
+            with self._lock:
+                base = self._cache.get(model_id, base)
+            if base._state is None:
+                raise ValueError(
+                    f"model {model_id} was saved without its fit state and "
+                    "cannot be refreshed incrementally; refit from the full "
+                    "history"
+                )
+            # Replace, never mutate: in-flight queries keep the old
+            # instance alive; states are immutable so sharing one is safe.
+            fresh = HabitImputer(base.config)
+            fresh._state = base._state
+            fresh.revision = base.revision
+            fresh.update(chunk)
+            fresh.save(self.root / f"{model_id}.npz")
+            with self._lock:
+                self._refreshes += 1
+                self._insert(model_id, fresh)
+        return fresh, model_id, fresh.revision
+
+    def _model_lock(self, model_id):
+        with self._lock:
+            return self._resolving.setdefault(model_id, threading.Lock())
+
+    def _fit_on_miss(self, dataset, config, typed):
+        """Run the fitter if it exists and can serve this request."""
+        if self.fitter is None:
+            return None
+        if not typed:
+            return self.fitter(dataset, config)
+        try:
+            inspect.signature(self.fitter).bind(dataset, config, typed=True)
+        except TypeError:
+            return None  # fitter predates typed serving
+        return self.fitter(dataset, config, typed=True)
 
     def _cached(self, model_id):
         with self._lock:
@@ -158,7 +238,9 @@ class ModelRegistry:
     def stats(self):
         """Current :class:`RegistryStats` snapshot."""
         with self._lock:
-            return RegistryStats(self._hits, self._loads, self._fits, self._evictions)
+            return RegistryStats(
+                self._hits, self._loads, self._fits, self._evictions, self._refreshes
+            )
 
     @property
     def loaded_ids(self):
@@ -179,11 +261,15 @@ class ModelRegistry:
         for path in sorted(self.root.glob("*.npz")):
             model_id = path.stem
             dataset, _, digest = model_id.rpartition("_")
+            typed = dataset.endswith(_TYPED_TAG)
+            if typed:
+                dataset = dataset[: -len(_TYPED_TAG)]
             entries.append(
                 {
                     "model_id": model_id,
                     "dataset": dataset,
                     "config_hash": digest,
+                    "typed": typed,
                     "path": str(path),
                     "size_bytes": path.stat().st_size,
                     "loaded": model_id in loaded,

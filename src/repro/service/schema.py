@@ -37,12 +37,20 @@ class SchemaError(ValueError):
 
 @dataclass(frozen=True)
 class GapRequest:
-    """One gap to impute: a dataset name plus two ``(lat, lng)`` endpoints."""
+    """One gap to impute: a dataset name plus two ``(lat, lng)`` endpoints.
+
+    ``typed=True`` routes the gap over the dataset's
+    :class:`repro.core.TypedHabitImputer` (resolved and persisted under
+    its own model id); ``vessel_type`` then picks the class-specific
+    graph, falling back to the global one when omitted or unknown.
+    """
 
     dataset: str
     start: tuple
     end: tuple
     request_id: str = ""
+    typed: bool = False
+    vessel_type: str | None = None
 
 
 @dataclass(frozen=True)
@@ -51,8 +59,11 @@ class Provenance:
 
     ``cache`` records how the model was obtained: ``"hit"`` (in-memory),
     ``"load"`` (read from the registry directory) or ``"fit"`` (fitted on
-    miss).  ``path_length_m`` is the metric length of the returned
-    polyline -- the path-cost measure exposed to clients.
+    miss).  ``revision`` is the model's incremental-refresh counter (1
+    until the first :meth:`repro.service.ModelRegistry.refresh`), so
+    clients can tell which vintage of the model answered.
+    ``path_length_m`` is the metric length of the returned polyline --
+    the path-cost measure exposed to clients.
     """
 
     model_id: str
@@ -62,6 +73,7 @@ class Provenance:
     num_cells: int
     path_length_m: float
     elapsed_ms: float
+    revision: int = 1
 
     def to_dict(self):
         """Plain-dict view for JSON responses."""
@@ -151,11 +163,19 @@ def _parse_request(item, index):
     if not isinstance(dataset, str) or not dataset.strip():
         raise SchemaError(f"requests[{index}].dataset must be a non-empty string")
     request_id = str(item.get("id", f"req-{index}"))
+    typed = item.get("typed", False)
+    if not isinstance(typed, bool):
+        raise SchemaError(f"requests[{index}].typed must be a boolean")
+    vessel_type = item.get("vessel_type")
+    if vessel_type is not None and not isinstance(vessel_type, str):
+        raise SchemaError(f"requests[{index}].vessel_type must be a string")
     return GapRequest(
         dataset=dataset.strip(),
         start=_parse_endpoint(item.get("start"), f"requests[{index}].start"),
         end=_parse_endpoint(item.get("end"), f"requests[{index}].end"),
         request_id=request_id,
+        typed=typed,
+        vessel_type=vessel_type,
     )
 
 

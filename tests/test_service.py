@@ -12,7 +12,7 @@ from pathlib import Path
 import numpy as np
 import pytest
 
-from repro.core import HabitConfig, HabitImputer, config_hash
+from repro.core import HabitConfig, HabitImputer, TypedHabitImputer, config_hash
 from repro.service import (
     BatchImputationEngine,
     GapRequest,
@@ -212,6 +212,151 @@ def test_result_feature_carries_provenance(registry, service_model, tiny_kiel):
     assert props["request_id"] == "g0" and props["dataset"] == "KIEL"
     assert props["model_id"] and "elapsed_ms" in props and "fallback" in props
     json.dumps(feature)  # must be JSON-serialisable as-is
+
+
+# -- typed-model serving -------------------------------------------------
+
+
+def test_registry_typed_publish_and_resolve(tmp_path, tiny_kiel, service_model):
+    reg = ModelRegistry(tmp_path / "models")
+    config = service_model.config
+    typed = TypedHabitImputer(config, min_group_rows=100).fit_from_trips(
+        tiny_kiel.train
+    )
+    reg.publish("KIEL", service_model)
+    typed_id, _ = reg.publish("KIEL", typed)
+    plain_id = ModelRegistry.model_id("KIEL", config)
+    assert typed_id == ModelRegistry.model_id("KIEL", config, typed=True)
+    assert typed_id != plain_id and "_TYPED_" in typed_id
+    # The two kinds resolve independently, and a cold load restores types.
+    reg.evict_all()
+    plain_got, _, _ = reg.get("KIEL", config)
+    typed_got, _, _ = reg.get("KIEL", config, typed=True)
+    assert isinstance(plain_got, HabitImputer)
+    assert isinstance(typed_got, TypedHabitImputer)
+    assert typed_got.fitted_groups == typed.fitted_groups
+    by_id = {e["model_id"]: e for e in reg.list_models()}
+    assert by_id[typed_id]["typed"] is True and by_id[typed_id]["dataset"] == "KIEL"
+    assert by_id[plain_id]["typed"] is False
+
+
+def test_typed_miss_needs_typed_capable_fitter(tmp_path, tiny_kiel):
+    config = HabitConfig()
+    legacy = ModelRegistry(
+        tmp_path / "legacy",
+        fitter=lambda d, c: HabitImputer(c).fit_from_trips(tiny_kiel.train),
+    )
+    with pytest.raises(ModelNotFound, match="typed model"):
+        legacy.get("KIEL", config, typed=True)
+
+    def typed_fitter(dataset, cfg, typed=False):
+        cls = TypedHabitImputer if typed else HabitImputer
+        return cls(cfg).fit_from_trips(tiny_kiel.train)
+
+    capable = ModelRegistry(tmp_path / "capable", fitter=typed_fitter)
+    imputer, _, source = capable.get("KIEL", config, typed=True)
+    assert source == "fit" and isinstance(imputer, TypedHabitImputer)
+
+
+def test_engine_routes_typed_requests(registry, service_model, tiny_kiel):
+    typed = TypedHabitImputer(service_model.config, min_group_rows=100).fit_from_trips(
+        tiny_kiel.train
+    )
+    typed_id, _ = registry.publish("KIEL", typed)
+    gap = tiny_kiel.gaps(3600.0)[0]
+    requests = [
+        GapRequest("KIEL", gap.start, gap.end, "plain"),
+        GapRequest(
+            "KIEL", gap.start, gap.end, "typed", typed=True, vessel_type="cargo"
+        ),
+    ]
+    plain_result, typed_result = BatchImputationEngine(registry).run(
+        requests, service_model.config
+    )
+    assert plain_result.provenance.model_id == ModelRegistry.model_id(
+        "KIEL", service_model.config
+    )
+    assert typed_result.provenance.model_id == typed_id
+    assert typed_result.num_points >= 2
+
+
+def test_parse_impute_payload_typed_fields():
+    requests, _ = parse_impute_payload(
+        {
+            "requests": [
+                {
+                    "dataset": "KIEL",
+                    "start": [54.0, 10.0],
+                    "end": [55.0, 11.0],
+                    "typed": True,
+                    "vessel_type": "cargo",
+                }
+            ]
+        }
+    )
+    assert requests[0].typed is True and requests[0].vessel_type == "cargo"
+    with pytest.raises(SchemaError, match="typed"):
+        parse_impute_payload(
+            {"dataset": "KIEL", "start": [1, 2], "end": [3, 4], "typed": "yes"}
+        )
+    with pytest.raises(SchemaError, match="vessel_type"):
+        parse_impute_payload(
+            {"dataset": "KIEL", "start": [1, 2], "end": [3, 4], "vessel_type": 7}
+        )
+
+
+# -- incremental refresh -------------------------------------------------
+
+
+def test_registry_refresh_bumps_revision_in_provenance(registry, service_model, tiny_kiel):
+    config = service_model.config
+    gap = tiny_kiel.gaps(3600.0)[0]
+    (before,) = BatchImputationEngine(registry).run(
+        [GapRequest("KIEL", gap.start, gap.end, "r0")], config
+    )
+    assert before.provenance.revision == 1
+    refreshed, model_id, revision = registry.refresh("KIEL", tiny_kiel.test, config)
+    assert revision == 2 and refreshed.revision == 2
+    assert registry.stats.refreshes == 1
+    (after,) = BatchImputationEngine(registry).run(
+        [GapRequest("KIEL", gap.start, gap.end, "r1")], config
+    )
+    assert after.provenance.revision == 2
+    # The refreshed model (and its revision) survive a cold process.
+    other = ModelRegistry(registry.root)
+    loaded, _, source = other.get("KIEL", config)
+    assert source == "load" and loaded.revision == 2
+
+
+def test_refresh_grows_coverage_not_mutating_served_instance(
+    registry, service_model, tiny_kiel
+):
+    config = service_model.config
+    served, _, _ = registry.get("KIEL", config)
+    nodes_before = served.graph.num_nodes
+    refreshed, _, _ = registry.refresh("KIEL", tiny_kiel.test, config)
+    assert refreshed is not served  # replace semantics, never in-place
+    assert served.graph.num_nodes == nodes_before
+    assert refreshed.graph.num_nodes >= nodes_before
+
+
+def test_refresh_rejects_typed_models(registry, tiny_kiel):
+    with pytest.raises(ValueError, match="typed"):
+        registry.refresh("KIEL", tiny_kiel.test, HabitConfig(), typed=True)
+
+
+def test_refresh_rejects_stateless_models(tmp_path, tiny_kiel, service_model):
+    # A serve-only artefact (no fit state) must refuse refresh rather
+    # than silently rebuilding the model from the new chunk alone.
+    reg = ModelRegistry(tmp_path / "models")
+    config = service_model.config
+    path = reg.path_for("KIEL", config)
+    service_model.save(path, include_state=False)
+    nodes_before = reg.get("KIEL", config)[0].graph.num_nodes
+    with pytest.raises(ValueError, match="without its fit state"):
+        reg.refresh("KIEL", tiny_kiel.test, config)
+    # The full-history model on disk is untouched.
+    assert HabitImputer.load(path).graph.num_nodes == nodes_before
 
 
 # -- schema validation ---------------------------------------------------

@@ -1,0 +1,227 @@
+"""Streaming ingest: chunked CSV reading and incremental segmentation.
+
+The contract under test: a month-scale dump processed chunk-by-chunk --
+``read_csv_chunks`` -> ``clean_messages`` -> ``StreamingSegmenter`` ->
+``fit_partial`` -- must produce the same trips and the same model as
+loading everything at once, while never holding more than a chunk (plus
+open trips) in memory.
+"""
+
+import numpy as np
+import pytest
+
+from repro.ais import read_csv, read_csv_chunks, schema
+from repro.ais.reader import AISFormatError
+from repro.core import (
+    HabitConfig,
+    HabitImputer,
+    StreamingSegmenter,
+    segment_trips,
+    segment_trips_stream,
+)
+from repro.minidb import Table
+
+
+def _raw(vessel, t, lat, lon):
+    n = len(t)
+    return Table(
+        {
+            schema.VESSEL_ID: np.asarray(vessel, dtype=np.int64),
+            schema.T: np.asarray(t, dtype=np.float64),
+            schema.LAT: np.asarray(lat, dtype=np.float64),
+            schema.LON: np.asarray(lon, dtype=np.float64),
+            schema.SOG: np.full(n, 8.0),
+            schema.COG: np.zeros(n),
+            schema.VESSEL_TYPE: np.full(n, "cargo", dtype="U16"),
+        }
+    )
+
+
+def _canonical_trips(trips):
+    """Trip contents independent of trip-id numbering."""
+    trip_ids = np.asarray(trips.column(schema.TRIP_ID))
+    t = np.asarray(trips.column(schema.T), dtype=np.float64)
+    vessel = np.asarray(trips.column(schema.VESSEL_ID))
+    groups = {}
+    for i in range(len(trip_ids)):
+        groups.setdefault(int(trip_ids[i]), []).append((int(vessel[i]), float(t[i])))
+    return sorted(tuple(sorted(rows)) for rows in groups.values())
+
+
+def _time_ordered_chunks(table, sizes, rng):
+    order = np.argsort(np.asarray(table.column(schema.T)), kind="stable")
+    ordered = table.take(order)
+    chunks = []
+    i = 0
+    while i < ordered.num_rows:
+        size = int(rng.integers(*sizes))
+        chunks.append(
+            Table({k: v[i : i + size] for k, v in ordered.to_dict().items()})
+        )
+        i += size
+    return chunks
+
+
+# -- incremental segmentation --------------------------------------------
+
+
+def test_trip_spanning_chunks_segments_identically():
+    # One vessel, one 8-report trip cut mid-trip; plus a second vessel
+    # whose two voyages straddle the boundary with a >30 min gap.
+    t1 = np.arange(8) * 60.0
+    v2_t = np.concatenate([np.arange(3) * 60.0, 7200.0 + np.arange(3) * 60.0])
+    whole = _raw(
+        vessel=[1] * 8 + [2] * 6,
+        t=np.concatenate([t1, v2_t]),
+        lat=np.concatenate([55.0 + np.arange(8) * 1e-3, 56.0 + np.arange(6) * 1e-3]),
+        lon=np.full(14, 10.0),
+    )
+    batch = segment_trips(whole)
+    split_at = np.asarray(whole.column(schema.T)) <= 200.0
+    first = whole.filter(split_at)
+    second = whole.filter(~split_at)
+    segmenter = StreamingSegmenter()
+    emitted = [segmenter.push(first), segmenter.push(second), segmenter.flush()]
+    streamed = Table.concat([e for e in emitted if e.num_rows])
+    assert streamed.num_rows == batch.num_rows
+    assert _canonical_trips(streamed) == _canonical_trips(batch)
+
+
+def test_streaming_matches_batch_on_random_chunks(tiny_kiel, rng):
+    raw = tiny_kiel.bundle.table
+    from repro.core import clean_messages
+
+    cleaned = clean_messages(raw)
+    batch = segment_trips(cleaned)
+    chunks = _time_ordered_chunks(cleaned, (200, 1500), rng)
+    streamed_parts = list(segment_trips_stream(iter(chunks)))
+    streamed = Table.concat(streamed_parts)
+    assert streamed.num_rows == batch.num_rows
+    assert _canonical_trips(streamed) == _canonical_trips(batch)
+
+
+def test_min_points_applies_at_emission_and_flush():
+    # Vessel 3's lone report and vessel 4's lone tail report must drop.
+    table = _raw(
+        vessel=[3, 4, 4],
+        t=[0.0, 0.0, 60.0],
+        lat=[55.0, 56.0, 56.001],
+        lon=[10.0, 10.0, 10.0],
+    )
+    segmenter = StreamingSegmenter(min_points=2)
+    assert segmenter.push(table).num_rows == 0  # everything still open
+    out = segmenter.flush()
+    assert np.array_equal(np.unique(out.column(schema.VESSEL_ID)), [4])
+    assert out.num_rows == 2
+
+
+def test_push_rejects_rows_behind_emitted_trips():
+    segmenter = StreamingSegmenter()
+    segmenter.push(_raw([1, 1], [0.0, 60.0], [55.0, 55.001], [10.0, 10.0]))
+    # A >30 min jump forward closes the first trip...
+    segmenter.push(_raw([1, 1], [10_000.0, 10_060.0], [55.0, 55.001], [10.0, 10.0]))
+    assert segmenter.open_rows == 2
+    # ...after which a report older than the emitted trip must refuse.
+    with pytest.raises(ValueError, match="time-ordered"):
+        segmenter.push(_raw([1], [30.0], [55.0], [10.0]))
+
+
+def test_watermark_covers_trips_dropped_by_min_points():
+    # A lone report at t=0 closes (and is dropped by min_points) when the
+    # post-gap reports arrive; a late report at t=100 overlaps that
+    # dropped trip and must still be refused -- accepting it would
+    # silently diverge from the one-shot segmentation.
+    segmenter = StreamingSegmenter(min_points=2)
+    emitted = segmenter.push(
+        _raw([1, 1, 1], [0.0, 3600.0, 3660.0], [55.0, 55.0, 55.001], [10.0] * 3)
+    )
+    assert emitted.num_rows == 0  # the 1-point trip closed but was dropped
+    with pytest.raises(ValueError, match="time-ordered"):
+        segmenter.push(_raw([1], [100.0], [55.0], [10.0]))
+
+
+def test_out_of_order_rows_within_open_trip_are_legal():
+    # No trip has closed for vessel 1, so a report older than ones already
+    # buffered just slots into the open trip, exactly as one-shot would.
+    segmenter = StreamingSegmenter()
+    segmenter.push(_raw([1, 1], [0.0, 60.0], [55.0, 55.001], [10.0, 10.0]))
+    segmenter.push(_raw([1], [30.0], [55.0005], [10.0]))
+    out = segmenter.flush()
+    assert out.num_rows == 3
+    assert np.array_equal(out.column(schema.T), [0.0, 30.0, 60.0])
+
+
+def test_empty_pushes_and_flush():
+    segmenter = StreamingSegmenter()
+    empty = _raw([], [], [], [])
+    assert segmenter.push(empty).num_rows == 0
+    assert segmenter.flush().num_rows == 0
+    assert schema.TRIP_ID in segmenter.flush()
+
+
+# -- chunked CSV ingest --------------------------------------------------
+
+
+def _write_dump(path, rows=1000, vessels=7):
+    # Globally time-ordered with interleaved vessels -- the shape real
+    # archive dumps have, and what the streaming segmenter requires.
+    rng = np.random.default_rng(11)
+    vessel = rng.integers(100, 100 + vessels, rows)
+    lines = ["MMSI,BaseDateTime,LAT,LON,SOG,COG,VesselType"]
+    t0 = 1_700_000_000
+    for i in range(rows):
+        lines.append(
+            f"{vessel[i]},{t0 + i * 30},{55 + i * 1e-4:.6f},"
+            f"{10 + i * 1e-4:.6f},8.0,90.0,Cargo"
+        )
+    path.write_text("\n".join(lines) + "\n")
+    return path
+
+
+def test_read_csv_chunks_bounded_and_lossless(tmp_path):
+    dump = _write_dump(tmp_path / "dump.csv", rows=1000)
+    whole = read_csv(dump)
+    chunks = list(read_csv_chunks(dump, chunk_rows=128))
+    assert len(chunks) == 8  # ceil(1000 / 128): the dump never loads whole
+    assert all(chunk.num_rows <= 128 for chunk in chunks)
+    stitched = Table.concat(chunks)
+    assert stitched.num_rows == whole.num_rows
+    for name in schema.RAW_COLUMNS:
+        assert np.array_equal(stitched.column(name), whole.column(name)), name
+
+
+def test_read_csv_chunks_validates_header_and_chunk_rows(tmp_path):
+    bad = tmp_path / "bad.csv"
+    bad.write_text("a,b,c\n1,2,3\n")
+    with pytest.raises(AISFormatError, match="required columns"):
+        next(read_csv_chunks(bad))
+    good = _write_dump(tmp_path / "ok.csv", rows=10)
+    with pytest.raises(ValueError, match="positive"):
+        next(read_csv_chunks(good, chunk_rows=0))
+
+
+def test_streamed_fit_equals_one_shot_fit(tmp_path):
+    """read_csv_chunks -> StreamingSegmenter -> fit_partial == full fit."""
+    from repro.core import clean_messages
+
+    dump = _write_dump(tmp_path / "dump.csv", rows=1500, vessels=5)
+    config = HabitConfig(resolution=9)
+
+    whole = segment_trips(clean_messages(read_csv(dump)))
+    one_shot = HabitImputer(config).fit_from_trips(whole)
+
+    streamed = HabitImputer(config)
+    segmenter = StreamingSegmenter()
+    for chunk in read_csv_chunks(dump, chunk_rows=200):
+        emitted = segmenter.push(clean_messages(chunk))
+        if emitted.num_rows:
+            streamed.fit_partial(emitted)
+    tail = segmenter.flush()
+    if tail.num_rows:
+        streamed.fit_partial(tail)
+    streamed.finalize()
+
+    for key in ("cells", "lats", "lngs", "edge_src", "edge_dst", "edge_cost"):
+        assert np.array_equal(
+            getattr(one_shot.graph, key), getattr(streamed.graph, key)
+        ), key
