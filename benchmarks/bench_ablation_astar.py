@@ -2,8 +2,9 @@
 
 The hex-grid-distance heuristic is exactly admissible (every edge costs at
 least its grid span), so both variants return equally-cheap paths; the
-heuristic just expands fewer nodes.  docs/ARCHITECTURE.md lists this as a
-design choice worth ablating.
+heuristic just expands fewer nodes -- recorded in ``extra_info`` (the
+same counter rides into serving provenance as ``expanded``).
+docs/ARCHITECTURE.md lists this as a design choice worth ablating.
 """
 
 import pytest
@@ -24,29 +25,28 @@ def endpoints(habit_r9, kiel_gaps):
 @pytest.mark.benchmark(group="ablation-astar")
 def test_astar_with_heuristic(benchmark, endpoints):
     graph, src, dst = endpoints
-    path = benchmark(graph.astar, src, dst, True)
-    assert path is not None
-    benchmark.extra_info["path_cells"] = len(path)
+    result = benchmark(graph.find_path, src, dst, "astar")
+    assert result is not None
+    benchmark.extra_info["path_cells"] = len(result.cells)
+    benchmark.extra_info["expanded"] = result.expanded
 
 
 @pytest.mark.benchmark(group="ablation-astar")
 def test_dijkstra_no_heuristic(benchmark, endpoints):
     graph, src, dst = endpoints
-    path = benchmark(graph.astar, src, dst, False)
-    assert path is not None
-    benchmark.extra_info["path_cells"] = len(path)
+    result = benchmark(graph.find_path, src, dst, "dijkstra")
+    assert result is not None
+    benchmark.extra_info["path_cells"] = len(result.cells)
+    benchmark.extra_info["expanded"] = result.expanded
 
 
 def test_same_cost_both_ways(endpoints):
-    """Correctness side of the ablation: identical path cost."""
+    """Correctness side of the ablation: identical path cost, fewer
+    expansions with the heuristic."""
     graph, src, dst = endpoints
-    with_h = graph.astar(src, dst, True)
-    without = graph.astar(src, dst, False)
-
-    def cost(path):
-        total = 0.0
-        for a, b in zip(path, path[1:]):
-            total += next(c for t, c, _ in graph.adjacency[a] if t == b)
-        return total
-
-    assert cost(with_h) == pytest.approx(cost(without))
+    with_h = graph.find_path(src, dst, "astar")
+    without = graph.find_path(src, dst, "dijkstra")
+    assert with_h.cost == pytest.approx(without.cost)
+    assert with_h.expanded <= without.expanded
+    # The legacy astar() wrapper returns the same cells.
+    assert graph.astar(src, dst, True) == list(with_h.cells)

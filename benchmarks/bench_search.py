@@ -1,0 +1,71 @@
+"""Search-variant benchmark: the CSR query engine on KIEL r9/r10.
+
+Times ``CellGraph.find_path`` for every search variant -- Dijkstra, A*
+(grid heuristic), bidirectional A* (balanced grid potentials), and ALT
+(landmark heuristic) -- over the same snapped gap endpoints, and records
+mean expanded-node counts in ``extra_info`` so heuristic quality is
+visible next to wall-clock numbers.  ``test_variants_agree_on_cost`` is
+the correctness gate CI runs even with timing disabled: all variants
+must return equal-cost paths (and agree on unreachable pairs).
+
+Results land in ``BENCH_search.json`` via the conftest emitter.
+"""
+
+import pytest
+
+from repro.core.graph import SEARCH_METHODS
+from repro.hexgrid import latlng_to_cell
+
+
+def _snapped_pairs(imputer, gaps):
+    graph = imputer.graph
+    resolution = imputer.config.resolution
+    pairs = []
+    for gap in gaps:
+        src = graph.nearest_node(latlng_to_cell(gap.start[0], gap.start[1], resolution))
+        dst = graph.nearest_node(latlng_to_cell(gap.end[0], gap.end[1], resolution))
+        pairs.append((src, dst))
+    return pairs
+
+
+@pytest.fixture(scope="module", params=[9, 10], ids=["r9", "r10"])
+def search_case(request, habit_r9, habit_r10, kiel_gaps):
+    imputer = habit_r9 if request.param == 9 else habit_r10
+    imputer.graph.ensure_landmarks(imputer.config.num_landmarks)
+    return imputer.graph, _snapped_pairs(imputer, kiel_gaps)
+
+
+@pytest.mark.benchmark(group="search-variants")
+@pytest.mark.parametrize("method", SEARCH_METHODS)
+def test_search_variant_latency(benchmark, search_case, method):
+    graph, pairs = search_case
+    state = {"i": 0}
+
+    def one_query():
+        src, dst = pairs[state["i"] % len(pairs)]
+        state["i"] += 1
+        return graph.find_path(src, dst, method)
+
+    result = benchmark(one_query)
+    assert result is not None
+    expanded = [graph.find_path(src, dst, method).expanded for src, dst in pairs]
+    benchmark.extra_info["mean_expanded"] = sum(expanded) / len(expanded)
+    benchmark.extra_info["num_nodes"] = graph.num_nodes
+    benchmark.extra_info["num_edges"] = graph.num_edges
+
+
+def test_variants_agree_on_cost(search_case):
+    """Every variant returns an equal-cost path for every gap pair."""
+    graph, pairs = search_case
+    for src, dst in pairs:
+        results = {m: graph.find_path(src, dst, m) for m in SEARCH_METHODS}
+        reachable = {m: r is not None for m, r in results.items()}
+        assert len(set(reachable.values())) == 1, reachable
+        if results["dijkstra"] is None:
+            continue
+        oracle = results["dijkstra"].cost
+        for method, result in results.items():
+            assert result.cost == pytest.approx(oracle, rel=1e-9), (
+                f"{method} returned cost {result.cost}, dijkstra {oracle} "
+                f"for pair {(src, dst)}"
+            )

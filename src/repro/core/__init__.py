@@ -22,7 +22,7 @@ implement the critical-point compression ablation, and
 """
 
 from repro.core.annotate import annotate_events, clean_messages, compress_trajectory
-from repro.core.graph import CellGraph
+from repro.core.graph import SEARCH_METHODS, CellGraph, SearchResult
 from repro.core.habit import HabitConfig, HabitImputer, ModelFormatError, config_hash
 from repro.core.parallel import compute_statistics_sharded, parallel_fit, shard_trips
 from repro.core.path import ImputedPath, straight_line_path
@@ -45,6 +45,8 @@ __all__ = [
     "HabitImputer",
     "ImputedPath",
     "ModelFormatError",
+    "SEARCH_METHODS",
+    "SearchResult",
     "StatisticsState",
     "StreamingSegmenter",
     "TypedHabitImputer",

@@ -1,11 +1,34 @@
-"""The learned cell-transition graph and its A* search.
+"""The learned cell-transition graph and its CSR search engine.
 
 Nodes are hex cells with observed support; edges are observed directed
 cell transitions.  Edge costs are denominated in *grid steps* and are
 always >= the hex grid distance they span, which makes the grid-distance
-heuristic exactly admissible (and consistent): A* with the heuristic
+heuristic exactly admissible (and consistent): every search variant
 returns the same cost as plain Dijkstra, just expanding fewer nodes --
-the property the A* ablation checks.
+the property the A* ablation and the search equivalence tests check.
+
+Internally the graph lives in a compact index space: cell ids are mapped
+to dense ``int32`` node indices at construction and edges are stored as
+CSR arrays (``indptr`` / ``indices`` / ``costs``), with per-node axial
+``(q, r)`` coordinates precomputed so heuristics are two integer
+subtractions on arrays instead of a bit-unpack per edge relaxation.  The
+legacy dict views (``adjacency``, ``node_attrs``) are built lazily for
+compatibility and never touched by the hot path.
+
+Search variants (:meth:`CellGraph.find_path`):
+
+- ``"dijkstra"`` -- no heuristic; the cost oracle.
+- ``"astar"`` -- grid-distance heuristic, precomputed for all nodes per
+  query as one vectorised pass.
+- ``"bidirectional"`` -- meet-in-the-middle Dijkstra over reduced costs
+  from the balanced grid potential ``p(v) = (h(v, dst) - h(v, src)) / 2``
+  (consistent both ways, so the standard ``top_f + top_b >= mu`` stopping
+  rule is provably equal-cost).
+- ``"alt"`` -- A* with the ALT/landmark heuristic maxed with the grid
+  heuristic; landmarks are far-apart high-degree hub cells with exact
+  CSR-Dijkstra distance tables (:meth:`CellGraph.compute_landmarks`),
+  persisted in format-v4 model files so loaded models skip
+  preprocessing.
 
 Two weight schemes are supported:
 
@@ -15,18 +38,35 @@ Two weight schemes are supported:
   steering paths onto dominant lanes.
 """
 
-import heapq
+import threading
+from dataclasses import dataclass, field
+from heapq import heappop, heappush
 
 import numpy as np
 
 from repro.hexgrid import (
+    cell_axial_array,
     cell_to_latlng_array,
-    grid_distance,
     grid_distance_array,
     ring,
 )
 
-__all__ = ["CellGraph"]
+__all__ = ["CellGraph", "SearchResult", "SEARCH_METHODS"]
+
+#: Search variants accepted by :meth:`CellGraph.find_path` (and, through
+#: ``HabitConfig.search``, by the imputer's query path).
+SEARCH_METHODS = ("dijkstra", "astar", "bidirectional", "alt")
+
+_INF = float("inf")
+
+#: Bound on the per-graph snap memo (the serve path re-snaps identical
+#: endpoints constantly; distinct endpoints are bounded by traffic area).
+_SNAP_CACHE_SIZE = 1 << 16
+
+#: Bound on the per-target heuristic-vector memos.  Hub-to-hub queries
+#: concentrate on few destinations, so the vectorised grid/ALT heuristic
+#: pass is usually amortised to a dict probe; each entry is O(num_nodes).
+_H_CACHE_SIZE = 128
 
 
 def _edge_costs(grid_spans, counts, scheme):
@@ -40,6 +80,24 @@ def _edge_costs(grid_spans, counts, scheme):
     raise ValueError(f"unknown edge weight scheme {scheme!r}")
 
 
+@dataclass(frozen=True)
+class SearchResult:
+    """One answered graph query: the path, its cost, and search effort.
+
+    ``cells`` are packed cell ids along the path (src..dst inclusive);
+    ``node_indices`` are the same nodes in dense index space (used by the
+    imputer to project positions without dict lookups).  ``expanded``
+    counts settled nodes -- the heuristic-quality signal surfaced in
+    serving provenance and the A* ablation.
+    """
+
+    cells: tuple
+    cost: float
+    expanded: int
+    method: str
+    node_indices: tuple = field(default=(), repr=False)
+
+
 class CellGraph:
     """Directed graph over hex cells with metricised transition costs."""
 
@@ -51,17 +109,48 @@ class CellGraph:
         self.edge_dst = np.asarray(edge_dst, dtype=np.int64)
         self.edge_cost = np.asarray(edge_cost, dtype=np.float64)
         self.edge_count = np.asarray(edge_count, dtype=np.int64)
-        #: cell id -> (lat, lng) of the node's projected position.
-        self.node_attrs = {
-            int(c): (float(la), float(ln))
-            for c, la, ln in zip(self.cells, self.lats, self.lngs)
-        }
-        #: cell id -> list of (neighbour cell, cost, transition count).
-        self.adjacency = {}
-        for s, d, c, k in zip(
-            self.edge_src, self.edge_dst, self.edge_cost, self.edge_count
-        ):
-            self.adjacency.setdefault(int(s), []).append((int(d), float(c), int(k)))
+        n = len(self.cells)
+        # Dense index space: cell id -> int32 node index via sorted lookup.
+        order = np.argsort(self.cells, kind="stable")
+        self._sorted_cells = self.cells[order]
+        self._sorted_to_node = order.astype(np.int32)
+        # Per-node axial coordinates: the heuristic becomes two integer
+        # subtractions on these arrays.
+        q, r = cell_axial_array(self.cells)
+        self.node_q = q.astype(np.int32)
+        self.node_r = r.astype(np.int32)
+        # CSR edge storage.  Edges whose endpoints carry no node (possible
+        # only in hand-built graphs) are dropped from the index; the flat
+        # arrays above stay exactly as given for persistence.
+        src_idx = self._node_index_array(self.edge_src)
+        dst_idx = self._node_index_array(self.edge_dst)
+        valid = (src_idx >= 0) & (dst_idx >= 0)
+        src_idx = src_idx[valid]
+        eorder = np.argsort(src_idx, kind="stable")  # keeps per-row edge order
+        counts = np.bincount(src_idx, minlength=n) if len(src_idx) else np.zeros(n, np.int64)
+        self.indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(counts, out=self.indptr[1:])
+        self.indices = dst_idx[valid][eorder].astype(np.int32)
+        self.costs = self.edge_cost[valid][eorder]
+        self._csr_counts = self.edge_count[valid][eorder]
+        # Optional ALT landmark tables (node indices + k x n distance
+        # matrices, exact CSR-Dijkstra distances, inf = unreachable).
+        self.landmarks = None
+        self.landmark_from = None
+        self.landmark_to = None
+        # Lazily built structures (hot-loop adjacency mirrors, legacy
+        # dict views, snap memo, landmarks) share one reentrant lock
+        # (landmark preprocessing builds the mirrors while holding it);
+        # all are pure functions of the frozen arrays, so queries stay
+        # read-only in spirit.
+        self._lock = threading.RLock()
+        self._csr_lists = None
+        self._rev_lists = None
+        self._node_attrs = None
+        self._adjacency = None
+        self._snap_cache = {}
+        self._h_cache = {}  # target idx -> (int64 array, python list)
+        self._alt_h_cache = {}  # target idx -> python list
 
     @classmethod
     def from_statistics(cls, cell_stats, transition_stats, projection, edge_weight):
@@ -87,6 +176,73 @@ class CellGraph:
         costs = _edge_costs(spans, counts, edge_weight)
         return cls(cells, lats, lngs, src, dst, costs, counts)
 
+    # -- index space -------------------------------------------------------
+
+    def _node_index_array(self, cells):
+        """Map cell ids to node indices (int32), -1 where absent."""
+        cells = np.asarray(cells, dtype=np.int64)
+        if len(self._sorted_cells) == 0:
+            return np.full(cells.shape, -1, dtype=np.int32)
+        pos = np.searchsorted(self._sorted_cells, cells)
+        pos = np.minimum(pos, len(self._sorted_cells) - 1)
+        out = self._sorted_to_node[pos].astype(np.int32, copy=True)
+        out[self._sorted_cells[pos] != cells] = -1
+        return out
+
+    def node_index(self, cell):
+        """Dense node index for a cell id, or -1 when not a node."""
+        sorted_cells = self._sorted_cells
+        if len(sorted_cells) == 0:
+            return -1
+        pos = int(np.searchsorted(sorted_cells, int(cell)))
+        if pos >= len(sorted_cells) or int(sorted_cells[pos]) != int(cell):
+            return -1
+        return int(self._sorted_to_node[pos])
+
+    # -- legacy dict views (lazy; not used by the hot path) ---------------
+
+    @property
+    def node_attrs(self):
+        """cell id -> (lat, lng); compat view, built on first access."""
+        attrs = self._node_attrs
+        if attrs is None:
+            with self._lock:
+                attrs = self._node_attrs
+                if attrs is None:
+                    attrs = {
+                        int(c): (float(la), float(ln))
+                        for c, la, ln in zip(self.cells, self.lats, self.lngs)
+                    }
+                    self._node_attrs = attrs
+        return attrs
+
+    @property
+    def adjacency(self):
+        """cell id -> [(neighbour cell, cost, count)]; compat view."""
+        adj = self._adjacency
+        if adj is None:
+            with self._lock:
+                adj = self._adjacency
+                if adj is None:
+                    adj = {}
+                    cells = self.cells
+                    indptr, indices = self.indptr, self.indices
+                    for u in range(len(cells)):
+                        row = [
+                            (
+                                int(cells[indices[e]]),
+                                float(self.costs[e]),
+                                int(self._csr_counts[e]),
+                            )
+                            for e in range(indptr[u], indptr[u + 1])
+                        ]
+                        if row:
+                            adj[int(cells[u])] = row
+                    self._adjacency = adj
+        return adj
+
+    # -- shape / size ------------------------------------------------------
+
     @property
     def num_nodes(self):
         """Number of cells with observed support."""
@@ -109,67 +265,432 @@ class CellGraph:
             + self.edge_count.nbytes
         )
 
+    # -- hot-loop mirrors --------------------------------------------------
+
+    @staticmethod
+    def _neighbour_tuples(indptr, indices, costs):
+        """Per-node ``((v, w), ...)`` rows from CSR arrays.
+
+        The search loops iterate neighbours as ``for v, w in adj[u]`` --
+        one tuple unpack per edge beats indexed CSR access by ~20% in
+        CPython, and the rows are built once per graph.
+        """
+        indices = indices.tolist()
+        costs = costs.tolist()
+        bounds = indptr.tolist()
+        pairs = list(zip(indices, costs))
+        return [
+            tuple(pairs[bounds[u] : bounds[u + 1]]) for u in range(len(bounds) - 1)
+        ]
+
+    def _forward(self):
+        """Hot-loop adjacency mirror of the forward CSR (lazy, cached)."""
+        adj = self._csr_lists
+        if adj is None:
+            with self._lock:
+                adj = self._csr_lists
+                if adj is None:
+                    adj = self._neighbour_tuples(self.indptr, self.indices, self.costs)
+                    self._csr_lists = adj
+        return adj
+
+    def _backward(self):
+        """Hot-loop adjacency mirror of the reverse CSR (lazy, cached)."""
+        adj = self._rev_lists
+        if adj is None:
+            with self._lock:
+                adj = self._rev_lists
+                if adj is None:
+                    n = self.num_nodes
+                    eorder = np.argsort(self.indices, kind="stable")
+                    counts = (
+                        np.bincount(self.indices, minlength=n)
+                        if len(self.indices)
+                        else np.zeros(n, np.int64)
+                    )
+                    indptr = np.zeros(n + 1, dtype=np.int64)
+                    np.cumsum(counts, out=indptr[1:])
+                    # Source of each CSR edge, recovered from indptr.
+                    src_of_edge = np.repeat(
+                        np.arange(n, dtype=np.int32), np.diff(self.indptr)
+                    )
+                    adj = self._neighbour_tuples(
+                        indptr, src_of_edge[eorder], self.costs[eorder]
+                    )
+                    self._rev_lists = adj
+        return adj
+
+    def _grid_h_array(self, target):
+        """Grid distance of every node to *target* (one vectorised pass)."""
+        dq = self.node_q.astype(np.int64) - int(self.node_q[target])
+        dr = self.node_r.astype(np.int64) - int(self.node_r[target])
+        return (np.abs(dq) + np.abs(dr) + np.abs(dq + dr)) >> 1
+
+    def _grid_h(self, target):
+        """Memoized ``(array, list)`` grid heuristic to *target*."""
+        entry = self._h_cache.get(target)
+        if entry is None:
+            arr = self._grid_h_array(target)
+            entry = (arr, arr.tolist())
+            with self._lock:
+                if len(self._h_cache) >= _H_CACHE_SIZE:
+                    self._h_cache.clear()
+                self._h_cache[target] = entry
+        return entry
+
+    # -- snapping ----------------------------------------------------------
+
     def nearest_node(self, cell, max_ring=8):
         """Snap a cell to the nearest graph node.
 
         Expands hex rings outwards (cheap, local) and falls back to a
-        vectorised full scan over all nodes when the rings miss.  Returns
+        vectorised full scan over all nodes when the rings miss.  Snaps
+        are memoized per graph -- the serve path re-snaps identical
+        endpoints constantly -- in a bounded memo keyed by
+        ``(cell, max_ring)`` (flushed wholesale when full).  Returns
         ``None`` only for an empty graph.
         """
         if self.num_nodes == 0:
             return None
-        attrs = self.node_attrs
         cell = int(cell)
-        if cell in attrs:
+        if self.node_index(cell) >= 0:
             return cell
+        key = (cell, int(max_ring))
+        cache = self._snap_cache
+        hit = cache.get(key)
+        if hit is not None:
+            return hit
+        snapped = self._nearest_node_uncached(cell, max_ring)
+        with self._lock:
+            if len(cache) >= _SNAP_CACHE_SIZE:
+                cache.clear()
+            cache[key] = snapped
+        return snapped
+
+    def _nearest_node_uncached(self, cell, max_ring):
         for k in range(1, max_ring + 1):
-            hits = [c for c in ring(cell, k) if c in attrs]
-            if hits:
-                return hits[0]
-        distances = grid_distance_array(
-            self.cells, np.full_like(self.cells, cell)
-        )
+            candidates = np.asarray(ring(cell, k), dtype=np.int64)
+            found = self._node_index_array(candidates) >= 0
+            if found.any():
+                return int(candidates[found][0])
+        # Full scan, broadcasting the scalar query cell (no per-miss
+        # np.full_like allocation).
+        distances = grid_distance_array(self.cells, np.int64(cell))
         return int(self.cells[int(np.argmin(distances))])
+
+    # -- search ------------------------------------------------------------
 
     def astar(self, src, dst, use_heuristic=True):
         """Cheapest path of cell ids from *src* to *dst*, or ``None``.
 
         With *use_heuristic* the hex grid distance to *dst* guides the
         search; without it this is Dijkstra.  Both return equal-cost paths
-        because the heuristic is admissible and consistent.
+        because the heuristic is admissible and consistent.  (Compat
+        wrapper over :meth:`find_path`.)
         """
-        src = int(src)
-        dst = int(dst)
-        if src not in self.node_attrs or dst not in self.node_attrs:
+        result = self.find_path(src, dst, "astar" if use_heuristic else "dijkstra")
+        return None if result is None else list(result.cells)
+
+    def find_path(self, src, dst, method="astar"):
+        """Search for a cheapest *src* -> *dst* path (cell ids).
+
+        Returns a :class:`SearchResult` or ``None`` when either endpoint
+        is not a node or no route exists.  All methods return equal-cost
+        paths (the heuristics are admissible and consistent).
+        """
+        if method not in SEARCH_METHODS:
+            raise ValueError(
+                f"unknown search method {method!r}; expected one of {SEARCH_METHODS}"
+            )
+        si = self.node_index(src)
+        di = self.node_index(dst)
+        if si < 0 or di < 0:
             return None
-        if src == dst:
-            return [src]
-        adjacency = self.adjacency
-        h0 = grid_distance(src, dst) if use_heuristic else 0
-        frontier = [(float(h0), src)]
-        g_score = {src: 0.0}
-        came_from = {}
-        closed = set()
+        if si == di:
+            cell = int(self.cells[si])
+            return SearchResult((cell,), 0.0, 0, method, (si,))
+        if method == "bidirectional":
+            found = self._bidirectional(si, di)
+        else:
+            if method == "dijkstra":
+                h = None
+            elif method == "astar":
+                h = self._grid_h(di)[1]
+            else:  # alt
+                self.ensure_landmarks()
+                h = self._alt_h(di)
+                if h[si] == _INF:
+                    return None  # provably unreachable (landmark bound)
+            found = self._astar_indices(si, di, h)
+        if found is None:
+            return None
+        path, cost, expanded = found
+        cells = tuple(self.cells[path].tolist())
+        return SearchResult(cells, cost, expanded, method, tuple(path))
+
+    def _astar_indices(self, si, di, h):
+        """Unidirectional A* / Dijkstra over the adjacency mirror."""
+        adj = self._forward()
+        n = self.num_nodes
+        g = [_INF] * n
+        came = [-1] * n
+        closed = bytearray(n)
+        g[si] = 0.0
+        frontier = [((h[si] if h else 0.0), si)]
+        expanded = 0
         while frontier:
-            _, node = heapq.heappop(frontier)
-            if node == dst:
-                path = [node]
-                while node in came_from:
-                    node = came_from[node]
-                    path.append(node)
+            _, u = heappop(frontier)
+            if u == di:
+                path = [u]
+                while came[u] >= 0:
+                    u = came[u]
+                    path.append(u)
                 path.reverse()
-                return path
-            if node in closed:
+                return path, g[di], expanded
+            if closed[u]:
                 continue
-            closed.add(node)
-            g_node = g_score[node]
-            for neighbour, cost, _count in adjacency.get(node, ()):
-                if neighbour in closed:
+            closed[u] = 1
+            expanded += 1
+            gu = g[u]
+            for v, w in adj[u]:
+                if closed[v]:
                     continue
-                tentative = g_node + cost
-                if tentative < g_score.get(neighbour, np.inf):
-                    g_score[neighbour] = tentative
-                    came_from[neighbour] = node
-                    h = grid_distance(neighbour, dst) if use_heuristic else 0
-                    heapq.heappush(frontier, (tentative + h, neighbour))
+                tentative = gu + w
+                if tentative < g[v]:
+                    hv = h[v] if h else 0.0
+                    if hv == _INF:
+                        continue
+                    g[v] = tentative
+                    came[v] = u
+                    heappush(frontier, (tentative + hv, v))
         return None
+
+    def _bidirectional(self, si, di):
+        """Meet-in-the-middle search with balanced grid potentials.
+
+        Runs bidirectional Dijkstra over reduced costs
+        ``c(u, v) - p(u) + p(v)`` with ``p(v) = (h(v, dst) - h(v, src)) / 2``;
+        consistency of the grid heuristic makes reduced costs non-negative
+        in both directions, so the classic ``top_f + top_b >= mu`` stop is
+        exact.  True (unreduced) distances ride along for the returned
+        cost.
+        """
+        fadj = self._forward()
+        badj = self._backward()
+        n = self.num_nodes
+        p = ((self._grid_h(di)[0] - self._grid_h(si)[0]) * 0.5).tolist()
+        gf = [_INF] * n  # reduced forward distances
+        gb = [_INF] * n
+        tf = [_INF] * n  # true forward distances
+        tb = [_INF] * n
+        cf = [-1] * n
+        cb = [-1] * n
+        donef = bytearray(n)
+        doneb = bytearray(n)
+        gf[si] = tf[si] = 0.0
+        gb[di] = tb[di] = 0.0
+        qf = [(0.0, si)]
+        qb = [(0.0, di)]
+        mu = _INF  # best reduced meeting cost
+        mu_true = _INF
+        meet = -1
+        expanded = 0
+        while qf and qb and qf[0][0] + qb[0][0] < mu:
+            if qf[0][0] <= qb[0][0]:
+                _, u = heappop(qf)
+                if donef[u]:
+                    continue
+                donef[u] = 1
+                expanded += 1
+                tu = tf[u]
+                base = gf[u] - p[u]
+                for v, w in fadj[u]:
+                    if donef[v]:
+                        continue
+                    ng = base + w + p[v]
+                    # ng >= mu can never improve: reduced costs are
+                    # non-negative, so any s-t path via v costs >= mu.
+                    if ng < gf[v] and ng < mu:
+                        gf[v] = ng
+                        tf[v] = tu + w
+                        cf[v] = u
+                        heappush(qf, (ng, v))
+                        if gb[v] < _INF:
+                            cand = ng + gb[v]
+                            if cand < mu:
+                                mu = cand
+                                mu_true = tf[v] + tb[v]
+                                meet = v
+            else:
+                _, u = heappop(qb)
+                if doneb[u]:
+                    continue
+                doneb[u] = 1
+                expanded += 1
+                tu = tb[u]
+                base = gb[u] + p[u]
+                for v, w in badj[u]:
+                    if doneb[v]:
+                        continue
+                    ng = base + w - p[v]  # reverse reduced cost
+                    if ng < gb[v] and ng < mu:
+                        gb[v] = ng
+                        tb[v] = tu + w
+                        cb[v] = u
+                        heappush(qb, (ng, v))
+                        if gf[v] < _INF:
+                            cand = gf[v] + ng
+                            if cand < mu:
+                                mu = cand
+                                mu_true = tf[v] + tb[v]
+                                meet = v
+        if meet < 0:
+            return None
+        path = [meet]
+        u = meet
+        while cf[u] >= 0:
+            u = cf[u]
+            path.append(u)
+        path.reverse()
+        u = meet
+        while cb[u] >= 0:
+            u = cb[u]
+            path.append(u)
+        return path, mu_true, expanded
+
+    # -- ALT landmarks -----------------------------------------------------
+
+    @property
+    def has_landmarks(self):
+        """Whether ALT landmark tables are present."""
+        return self.landmarks is not None and len(self.landmarks) > 0
+
+    def ensure_landmarks(self, k=8):
+        """Compute landmark tables if absent (idempotent, thread-safe)."""
+        if self.landmarks is None:
+            with self._lock:
+                if self.landmarks is None:
+                    self._compute_landmarks_locked(k)
+        return self
+
+    def compute_landmarks(self, k=8):
+        """(Re)select ~*k* far-apart high-degree hub landmarks.
+
+        Picks the highest-degree node, then farthest-point selection over
+        a high-degree candidate pool using exact symmetric graph
+        distances, and precomputes per-landmark distance tables from
+        (``landmark_from``) and to (``landmark_to``) every node via CSR
+        Dijkstra.  Persisted with format-v4 models so loading skips this.
+        """
+        with self._lock:
+            self._compute_landmarks_locked(k)
+        return self
+
+    def _compute_landmarks_locked(self, k):
+        n = self.num_nodes
+        k = max(int(k), 0)
+        if n == 0 or k == 0:
+            self.landmarks = np.zeros(0, dtype=np.int32)
+            self.landmark_from = np.zeros((0, n), dtype=np.float64)
+            self.landmark_to = np.zeros((0, n), dtype=np.float64)
+            return
+        k = min(k, n)
+        out_deg = np.diff(self.indptr)
+        in_deg = (
+            np.bincount(self.indices, minlength=n)
+            if len(self.indices)
+            else np.zeros(n, np.int64)
+        )
+        degree = out_deg + in_deg
+        # Candidate pool: hubs only (top quartile by degree, at least k).
+        pool = np.argsort(degree, kind="stable")[::-1][: max(k, n // 4)]
+        chosen = [int(pool[0])]
+        dist_from = [self._sssp(chosen[0], reverse=False)]
+        dist_to = [self._sssp(chosen[0], reverse=True)]
+        # Farthest-point selection on min symmetric landmark distance;
+        # unreachable (inf) sorts first, spreading across components.
+        min_sym = np.minimum(dist_from[0], dist_to[0])
+        while len(chosen) < k:
+            scores = min_sym[pool].copy()
+            scores[np.isin(pool, chosen)] = -1.0
+            best = int(pool[int(np.argmax(scores))])
+            if best in chosen or scores.max() <= 0.0:
+                break  # pool exhausted (tiny or fully covered graph)
+            chosen.append(best)
+            dist_from.append(self._sssp(best, reverse=False))
+            dist_to.append(self._sssp(best, reverse=True))
+            min_sym = np.minimum(min_sym, np.minimum(dist_from[-1], dist_to[-1]))
+        self.landmarks = np.asarray(chosen, dtype=np.int32)
+        self.landmark_from = np.vstack(dist_from)
+        self.landmark_to = np.vstack(dist_to)
+        self._alt_h_cache = {}
+
+    def set_landmarks(self, landmarks, dist_from, dist_to):
+        """Install precomputed landmark tables (model load path)."""
+        landmarks = np.asarray(landmarks, dtype=np.int32)
+        dist_from = np.asarray(dist_from, dtype=np.float64)
+        dist_to = np.asarray(dist_to, dtype=np.float64)
+        n = self.num_nodes
+        expected = (len(landmarks), n)
+        if dist_from.shape != expected or dist_to.shape != expected:
+            raise ValueError(
+                f"landmark tables must be shaped {expected}, got "
+                f"{dist_from.shape} / {dist_to.shape}"
+            )
+        self.landmarks = landmarks
+        self.landmark_from = dist_from
+        self.landmark_to = dist_to
+        self._alt_h_cache = {}
+        return self
+
+    def _sssp(self, source, reverse=False):
+        """Exact single-source distances over the (reverse) CSR."""
+        adj = self._backward() if reverse else self._forward()
+        n = self.num_nodes
+        dist = [_INF] * n
+        done = bytearray(n)
+        dist[source] = 0.0
+        heap = [(0.0, source)]
+        while heap:
+            d, u = heappop(heap)
+            if done[u]:
+                continue
+            done[u] = 1
+            for v, w in adj[u]:
+                nd = d + w
+                if nd < dist[v]:
+                    dist[v] = nd
+                    heappush(heap, (nd, v))
+        return np.asarray(dist, dtype=np.float64)
+
+    def _alt_h(self, di):
+        """ALT heuristic to *di* for every node, maxed with the grid one.
+
+        Triangle-inequality bounds ``d(l, t) - d(l, v)`` and
+        ``d(v, l) - d(t, l)`` per landmark; ``inf`` entries are exact
+        (the node provably cannot reach *di*) and prune the search, while
+        ``inf - inf`` (no information) collapses to the grid bound.
+        Memoized per target like the grid heuristic.
+        """
+        cached = self._alt_h_cache.get(di)
+        if cached is not None:
+            return cached
+        grid_h = self._grid_h(di)[0].astype(np.float64)
+        lf = self.landmark_from
+        lt = self.landmark_to
+        if lf is None or lf.shape[0] == 0:
+            h = grid_h.tolist()
+        else:
+            with np.errstate(invalid="ignore"):
+                a = lf[:, di : di + 1] - lf  # d(l, t) - d(l, v)
+                b = lt - lt[:, di : di + 1]  # d(v, l) - d(t, l)
+            bounds = np.fmax(
+                np.nan_to_num(a, nan=-np.inf, posinf=np.inf, neginf=-np.inf),
+                np.nan_to_num(b, nan=-np.inf, posinf=np.inf, neginf=-np.inf),
+            ).max(axis=0)
+            h = np.maximum(bounds, grid_h).tolist()
+        with self._lock:
+            if len(self._alt_h_cache) >= _H_CACHE_SIZE:
+                self._alt_h_cache.clear()
+            self._alt_h_cache[di] = h
+        return h

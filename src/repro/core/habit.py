@@ -16,11 +16,16 @@ from new trips -- only the (cheap) graph rebuild is repeated, never the
 pass over historical rows.  ``revision`` counts those refreshes and rides
 into serving provenance.
 
-A query snaps both gap endpoints to graph nodes, runs A*, projects the
-cell path to positions (cell centres or per-cell medians), simplifies with
-RDP at ``tolerance_m``, and pins the exact endpoints.  When no route
-exists the imputer degrades to a straight line, flagged in
-``ImputedPath.method``.
+A query snaps both gap endpoints to graph nodes (memoized per graph),
+routes over the CSR search engine (``HabitConfig.search`` picks the
+variant: Dijkstra, A*, bidirectional A*, or ALT/landmark A* -- all
+provably equal-cost), projects the cell path to positions (cell centres
+or per-cell medians), simplifies with RDP at ``tolerance_m``, and pins
+the exact endpoints.  The three stages are public --
+:meth:`HabitImputer.snap_endpoints`, :meth:`HabitImputer.route`,
+:meth:`HabitImputer.render_path` -- so the serving layer can cache
+search results keyed by snapped endpoints.  When no route exists the
+imputer degrades to a straight line, flagged in ``ImputedPath.method``.
 """
 
 import hashlib
@@ -32,9 +37,10 @@ from pathlib import Path
 import numpy as np
 
 from repro.core.graph import CellGraph
-from repro.core.path import ImputedPath, resample_polyline, straight_line_path
+from repro.core.path import ImputedPath, resample_polyline_xy, straight_line_path
 from repro.core.statistics import StatisticsState, partial_statistics
-from repro.geo.simplify import rdp_simplify
+from repro.geo.proj import latlng_to_xy_m
+from repro.geo.simplify import rdp_keep_indices
 from repro.hexgrid import grid_distance, latlng_to_cell
 
 __all__ = ["HabitConfig", "HabitImputer", "ModelFormatError", "config_hash"]
@@ -43,9 +49,12 @@ __all__ = ["HabitConfig", "HabitImputer", "ModelFormatError", "config_hash"]
 #: layout changes; version-1 files predate the tag and are rejected with
 #: a clear error instead of being mis-read.  Version 3 added the model
 #: revision and the optional mergeable fit state that powers
-#: :meth:`HabitImputer.update` after a load.
+#: :meth:`HabitImputer.update` after a load.  Version 4 added the search
+#: config fields and the optional precomputed ALT landmark tables;
+#: version-3 files still load (landmarks rebuilt on demand).
 MODEL_FORMAT = "habit-npz"
-MODEL_FORMAT_VERSION = 3
+MODEL_FORMAT_VERSION = 4
+MIN_MODEL_FORMAT_VERSION = 3
 
 #: Prefix under which a model's mergeable fit state is stored in the npz.
 _STATE_PREFIX = "state_"
@@ -87,7 +96,12 @@ def _format_array(kind):
 
 
 def _check_format(data, kind, path):
-    """Validate the format tag of an opened ``np.load`` mapping."""
+    """Validate the format tag of an opened ``np.load`` mapping.
+
+    Returns the (integer) format version so loaders can branch on it;
+    versions ``MIN_MODEL_FORMAT_VERSION..MODEL_FORMAT_VERSION`` are
+    readable, anything else fails loudly.
+    """
     if "format" not in data.files:
         raise ModelFormatError(
             f"{path}: no format tag; not a {kind!r} model "
@@ -97,22 +111,40 @@ def _check_format(data, kind, path):
     name, version = str(tag[0]), str(tag[1])
     if name != kind:
         raise ModelFormatError(f"{path}: format {name!r}, expected {kind!r}")
-    if version != str(MODEL_FORMAT_VERSION):
+    try:
+        parsed = int(version)
+    except ValueError:
+        parsed = -1
+    if not MIN_MODEL_FORMAT_VERSION <= parsed <= MODEL_FORMAT_VERSION:
         raise ModelFormatError(
-            f"{path}: format version {version}, this build reads "
-            f"version {MODEL_FORMAT_VERSION}"
+            f"{path}: format version {version}, this build reads versions "
+            f"{MIN_MODEL_FORMAT_VERSION}..{MODEL_FORMAT_VERSION}"
         )
+    return parsed
+
+
+#: Optional per-graph ALT landmark arrays (format v4+); absent in v3
+#: files and in models whose graphs never computed landmarks.
+_LANDMARK_KEYS = ("landmarks", "landmark_from", "landmark_to")
 
 
 def _graph_payload(graph, prefix=""):
-    return {prefix + key: getattr(graph, key) for key in _GRAPH_KEYS}
+    payload = {prefix + key: getattr(graph, key) for key in _GRAPH_KEYS}
+    if graph.has_landmarks:
+        payload.update(
+            {prefix + key: getattr(graph, key) for key in _LANDMARK_KEYS}
+        )
+    return payload
 
 
 def _graph_from_npz(data, path, prefix=""):
     missing = [key for key in _GRAPH_KEYS if prefix + key not in data.files]
     if missing:
         raise ModelFormatError(f"{path}: missing graph arrays {missing}")
-    return CellGraph(*(data[prefix + key] for key in _GRAPH_KEYS))
+    graph = CellGraph(*(data[prefix + key] for key in _GRAPH_KEYS))
+    if all(prefix + key in data.files for key in _LANDMARK_KEYS):
+        graph.set_landmarks(*(data[prefix + key] for key in _LANDMARK_KEYS))
+    return graph
 
 
 def _config_payload(config):
@@ -126,12 +158,14 @@ def _config_payload(config):
             str(config.snap_max_ring),
             str(config.snap_limit_cells),
             str(config.resample_m),
+            config.search,
+            str(config.num_landmarks),
         ]
     )
 
 
 def _config_from_npz(raw):
-    return HabitConfig(
+    kwargs = dict(
         resolution=int(raw[0]),
         tolerance_m=float(raw[1]),
         projection=str(raw[2]),
@@ -141,6 +175,10 @@ def _config_from_npz(raw):
         snap_limit_cells=int(raw[6]),
         resample_m=float(raw[7]),
     )
+    if len(raw) > 8:  # format v4+; v3 configs fall back to field defaults
+        kwargs["search"] = str(raw[8])
+        kwargs["num_landmarks"] = int(raw[9])
+    return HabitConfig(**kwargs)
 
 
 def _open_npz(path):
@@ -180,6 +218,15 @@ class HabitConfig:
       through an arbitrarily distant corridor.
     - ``resample_m``: output point spacing; simplified paths are resampled
       back to AIS-like density so point-to-point metrics stay comparable.
+    - ``search``: query search variant -- ``"alt"`` (default; landmark
+      heuristic, by far the fewest expansions on lane-shaped cell
+      graphs), ``"bidirectional"`` (meet-in-the-middle; no preprocessing,
+      wins when fits are too frequent to amortise landmarks),
+      ``"astar"``, or ``"dijkstra"``.  All return equal-cost paths; they
+      differ only in nodes expanded per query.
+    - ``num_landmarks``: ALT landmark count, selected at
+      :meth:`HabitImputer.finalize` when ``search="alt"`` (or on the
+      first ALT query) and persisted in format-v4 model files.
     """
 
     resolution: int = 9
@@ -190,6 +237,8 @@ class HabitConfig:
     snap_max_ring: int = 8
     snap_limit_cells: int = 200
     resample_m: float = 250.0
+    search: str = "alt"
+    num_landmarks: int = 8
 
 
 class HabitImputer:
@@ -250,6 +299,10 @@ class HabitImputer:
             projection=self.config.projection,
             edge_weight=self.config.edge_weight,
         )
+        if self.config.search == "alt":
+            # Pay landmark preprocessing once at fit time; the tables
+            # ride in the (v4) model payload so loads skip this.
+            self.graph.ensure_landmarks(self.config.num_landmarks)
         return self
 
     def fit_from_trips(self, trips):
@@ -278,12 +331,18 @@ class HabitImputer:
 
     # -- querying ---------------------------------------------------------
 
-    def impute(self, start, end, use_heuristic=True):
-        """Reconstruct the path between two ``(lat, lng)`` gap endpoints."""
+    def snap_endpoints(self, start, end):
+        """Snap both ``(lat, lng)`` gap endpoints to graph node cells.
+
+        Returns ``(src_cell, dst_cell)``, or ``None`` when the graph is
+        empty or either snap lands beyond ``snap_limit_cells`` (the
+        caller degrades to the straight-line fallback).  Snaps are
+        memoized on the graph, so repeated endpoints cost a dict probe.
+        """
         self._require_fitted()
         config = self.config
         if self.graph.num_nodes == 0:
-            return straight_line_path(start, end, method="fallback")
+            return None
         src_cell = latlng_to_cell(start[0], start[1], config.resolution)
         dst_cell = latlng_to_cell(end[0], end[1], config.resolution)
         src = self.graph.nearest_node(src_cell, config.snap_max_ring)
@@ -292,23 +351,75 @@ class HabitImputer:
             grid_distance(src_cell, src) > config.snap_limit_cells
             or grid_distance(dst_cell, dst) > config.snap_limit_cells
         ):
+            return None
+        return src, dst
+
+    def route(self, src_node, dst_node, method=None):
+        """Search the cell graph between two snapped node cells.
+
+        *method* defaults to ``config.search``; returns the
+        :class:`repro.core.graph.SearchResult` (or ``None`` when no route
+        exists).  This is the cacheable stage: the result depends only on
+        the graph and the snapped endpoints, never on the raw query
+        positions.
+        """
+        self._require_fitted()
+        method = method or self.config.search
+        if method == "alt":
+            self.graph.ensure_landmarks(self.config.num_landmarks)
+        return self.graph.find_path(src_node, dst_node, method)
+
+    def render_path(self, start, end, result):
+        """Project a search result into an :class:`ImputedPath`.
+
+        Positions come straight from the graph's flat arrays (no dict
+        lookups), then RDP at ``tolerance_m``, resampling to
+        ``resample_m``, and exact endpoint pinning.  ``None`` renders the
+        flagged straight-line fallback.
+        """
+        if result is None:
             return straight_line_path(start, end, method="fallback")
-        cell_path = self.graph.astar(src, dst, use_heuristic)
-        if cell_path is None:
-            return straight_line_path(start, end, method="fallback")
-        attrs = self.graph.node_attrs
-        lats = np.empty(len(cell_path) + 2)
-        lngs = np.empty(len(cell_path) + 2)
+        config = self.config
+        graph = self.graph
+        idx = np.asarray(result.node_indices, dtype=np.int64)
+        lats = np.empty(len(idx) + 2)
+        lngs = np.empty(len(idx) + 2)
         lats[0], lngs[0] = float(start[0]), float(start[1])
         lats[-1], lngs[-1] = float(end[0]), float(end[1])
-        for i, cell in enumerate(cell_path, start=1):
-            lats[i], lngs[i] = attrs[cell]
+        lats[1:-1] = graph.lats[idx]
+        lngs[1:-1] = graph.lngs[idx]
+        # One projection feeds both simplification and resampling.
+        x = y = None
         if config.tolerance_m > 0.0 and len(lats) > 2:
-            lats, lngs = rdp_simplify(lats, lngs, config.tolerance_m)
-        if config.resample_m > 0.0:
-            lats, lngs = resample_polyline(lats, lngs, config.resample_m)
-        method = "astar" if use_heuristic else "dijkstra"
-        return ImputedPath(lats=lats, lngs=lngs, method=method, cells=tuple(cell_path))
+            x, y = latlng_to_xy_m(lats, lngs)
+            kept = rdp_keep_indices(x, y, config.tolerance_m)
+            lats, lngs, x, y = lats[kept], lngs[kept], x[kept], y[kept]
+        if config.resample_m > 0.0 and len(lats) >= 2:
+            if x is None:
+                x, y = latlng_to_xy_m(lats, lngs)
+            lats, lngs = resample_polyline_xy(lats, lngs, x, y, config.resample_m)
+        return ImputedPath(
+            lats=lats,
+            lngs=lngs,
+            method=result.method,
+            cells=result.cells,
+            expanded=result.expanded,
+        )
+
+    def impute(self, start, end, use_heuristic=True, method=None):
+        """Reconstruct the path between two ``(lat, lng)`` gap endpoints.
+
+        *method* overrides the configured search variant for this query;
+        ``use_heuristic=False`` is the legacy spelling for ``"dijkstra"``
+        (the A* ablation's control arm).
+        """
+        self._require_fitted()
+        snapped = self.snap_endpoints(start, end)
+        if snapped is None:
+            return straight_line_path(start, end, method="fallback")
+        if method is None:
+            method = self.config.search if use_heuristic else "dijkstra"
+        return self.render_path(start, end, self.route(snapped[0], snapped[1], method))
 
     # -- persistence ------------------------------------------------------
 
@@ -341,11 +452,13 @@ class HabitImputer:
     def load(cls, path):
         """Restore a model saved with :meth:`save`.
 
-        Raises :class:`ModelFormatError` when *path* is not a
-        current-version habit model (wrong kind, stale version, missing
-        arrays, or not an ``.npz`` archive at all).  Models saved with
-        their fit state come back refreshable; state-less artefacts load
-        fine but reject :meth:`update`.
+        Raises :class:`ModelFormatError` when *path* is not a readable
+        habit model (wrong kind, out-of-range version, missing arrays,
+        or not an ``.npz`` archive at all).  Format-v3 files load with
+        default search settings and no landmark tables (rebuilt on
+        demand); v4 files restore precomputed landmarks.  Models saved
+        with their fit state come back refreshable; state-less artefacts
+        load fine but reject :meth:`update`.
         """
         path = Path(path)
         with _open_npz(path) as data:

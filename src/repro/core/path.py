@@ -6,22 +6,31 @@ import numpy as np
 
 from repro.geo.proj import latlng_to_xy_m
 
-__all__ = ["ImputedPath", "resample_polyline", "straight_line_path"]
+__all__ = [
+    "ImputedPath",
+    "resample_polyline",
+    "resample_polyline_xy",
+    "straight_line_path",
+]
 
 
 @dataclass(frozen=True)
 class ImputedPath:
     """A reconstructed trajectory between two gap endpoints.
 
-    ``method`` records how the path was produced (``"astar"``,
-    ``"dijkstra"``, ``"straight"``, or ``"fallback"`` when a graph search
-    found no route and the imputer degraded to a straight line).
+    ``method`` records how the path was produced (a graph search variant
+    -- ``"astar"``, ``"dijkstra"``, ``"bidirectional"``, ``"alt"`` -- or
+    ``"straight"`` / ``"fallback"`` when a search found no route and the
+    imputer degraded to a straight line).  ``expanded`` counts the nodes
+    the search settled (0 for straight lines), making heuristic quality
+    observable in served responses, not just benchmarks.
     """
 
     lats: np.ndarray
     lngs: np.ndarray
     method: str = "astar"
     cells: tuple = field(default=(), repr=False)
+    expanded: int = 0
 
     @property
     def num_points(self):
@@ -42,6 +51,16 @@ def resample_polyline(lats, lngs, step_m=250.0):
     if len(lats) < 2:
         return lats.copy(), lngs.copy()
     x, y = latlng_to_xy_m(lats, lngs)
+    return resample_polyline_xy(lats, lngs, x, y, step_m)
+
+
+def resample_polyline_xy(lats, lngs, x, y, step_m=250.0):
+    """:func:`resample_polyline` over pre-projected coordinates.
+
+    Segment lengths come from the caller's *x*/*y* (so the imputation hot
+    path projects each polyline exactly once); interpolation itself runs
+    on lat/lng, which is equivalent under the affine local projection.
+    """
     seg = np.hypot(np.diff(x), np.diff(y))
     cum = np.concatenate(([0.0], np.cumsum(seg)))
     length = float(cum[-1])

@@ -66,12 +66,24 @@ class TypedHabitImputer:
             )
         return self
 
-    def impute(self, start, end, vessel_type=None):
-        """Impute on the type's graph, falling back to the global one."""
+    def resolve(self, vessel_type=None):
+        """Pick the graph for a vessel class: ``(imputer, class_tag)``.
+
+        ``class_tag`` is the resolved group name (``""`` for the global
+        fallback) -- the serving layer folds it into its path-cache key
+        so two classes never share cached routes.
+        """
         if self.fallback is None:
             raise RuntimeError("TypedHabitImputer.impute called before fit_from_trips")
         key = str(vessel_type) if vessel_type is not None else None
-        imputer = self.by_type.get(key, self.fallback)
+        imputer = self.by_type.get(key)
+        if imputer is None:
+            return self.fallback, ""
+        return imputer, key
+
+    def impute(self, start, end, vessel_type=None):
+        """Impute on the type's graph, falling back to the global one."""
+        imputer, _ = self.resolve(vessel_type)
         return imputer.impute(start, end)
 
     def storage_size_bytes(self):

@@ -12,7 +12,7 @@ import numpy as np
 
 from repro.geo.proj import latlng_to_xy_m
 
-__all__ = ["rdp_simplify", "vw_simplify"]
+__all__ = ["rdp_keep_indices", "rdp_simplify", "vw_simplify"]
 
 
 def _point_segment_distance(px, py, ax, ay, bx, by):
@@ -34,24 +34,110 @@ def rdp_simplify(lats, lngs, tolerance_m):
     if n <= 2 or tolerance_m <= 0.0:
         return lats.copy(), lngs.copy()
     x, y = latlng_to_xy_m(lats, lngs)
-    keep = np.zeros(n, dtype=bool)
-    keep[0] = keep[-1] = True
+    kept_idx = rdp_keep_indices(x, y, tolerance_m)
+    return lats[kept_idx], lngs[kept_idx]
+
+
+def rdp_keep_indices(x, y, tolerance_m):
+    """RDP keep-set over pre-projected coordinates; returns kept indices.
+
+    The projection-free kernel behind :func:`rdp_simplify`, exposed so
+    the imputation hot path can project a polyline once and share the
+    coordinates between simplification and resampling.
+
+    The span scan runs in scalar Python over coordinate lists: RDP sits
+    on the per-query imputation hot path where spans are a few dozen
+    points, and at that size per-call NumPy dispatch overhead dwarfs the
+    arithmetic (the vectorised variant spent ~10x longer in
+    ``np.clip``/``np.argmax`` bookkeeping than in actual math).  Squared
+    distances avoid the hypot per point, and a vectorised pre-pass drops
+    interior points lying within 0.1 mm of their neighbours' chord --
+    degenerate vertices RDP could never retain at metre tolerances, but
+    which hex-centre polylines produce in straight runs and which the
+    scan would otherwise re-visit at every recursion level.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    n = len(x)
+    if n <= 2:
+        return np.arange(n)
+    orig = None
+    if n > 3:
+        cx = x[2:] - x[:-2]
+        cy = y[2:] - y[:-2]
+        ex = x[1:-1] - x[:-2]
+        ey = y[1:-1] - y[:-2]
+        chord2 = cx * cx + cy * cy
+        cross = cx * ey - cy * ex
+        dot = ex * cx + ey * cy
+        # Distance-to-line equals distance-to-segment only for points
+        # projecting inside the chord; out-and-back spikes (collinear
+        # but beyond an endpoint, or over a degenerate chord) must
+        # survive for the exact scan below to judge.
+        collinear = (
+            (chord2 > 0.0)
+            & (dot >= 0.0)
+            & (dot <= chord2)
+            & (np.abs(cross) <= 1e-4 * np.sqrt(chord2))
+        )
+        if collinear.any():
+            mask = np.concatenate(([True], ~collinear, [True]))
+            orig = np.flatnonzero(mask)
+            x = x[mask]
+            y = y[mask]
+            n = len(x)
+    xs = x.tolist()
+    ys = y.tolist()
+    tol2 = float(tolerance_m) * float(tolerance_m)
+    keep = bytearray(n)
+    keep[0] = keep[n - 1] = 1
     stack = [(0, n - 1)]
     while stack:
         i, j = stack.pop()
         if j - i < 2:
             continue
-        inner = slice(i + 1, j)
-        dists = _point_segment_distance(
-            x[inner], y[inner], x[i], y[i], x[j], y[j]
-        )
-        k = int(np.argmax(dists))
-        if dists[k] > tolerance_m:
-            split = i + 1 + k
-            keep[split] = True
-            stack.append((i, split))
-            stack.append((split, j))
-    return lats[keep], lngs[keep]
+        ax = xs[i]
+        ay = ys[i]
+        dx = xs[j] - ax
+        dy = ys[j] - ay
+        seg2 = dx * dx + dy * dy
+        best = tol2
+        arg = -1
+        if seg2 == 0.0:
+            for k in range(i + 1, j):
+                ex = xs[k] - ax
+                ey = ys[k] - ay
+                d2 = ex * ex + ey * ey
+                if d2 > best:
+                    best = d2
+                    arg = k
+        else:
+            inv = 1.0 / seg2
+            bx = xs[j]
+            by = ys[j]
+            for k in range(i + 1, j):
+                ex = xs[k] - ax
+                ey = ys[k] - ay
+                t = (ex * dx + ey * dy) * inv
+                if t <= 0.0:
+                    d2 = ex * ex + ey * ey
+                elif t >= 1.0:
+                    fx = xs[k] - bx
+                    fy = ys[k] - by
+                    d2 = fx * fx + fy * fy
+                else:
+                    fx = ex - t * dx
+                    fy = ey - t * dy
+                    d2 = fx * fx + fy * fy
+                if d2 > best:
+                    best = d2
+                    arg = k
+        if arg >= 0:
+            keep[arg] = 1
+            stack.append((i, arg))
+            stack.append((arg, j))
+    kept = np.frombuffer(bytes(keep), dtype=np.uint8).astype(bool)
+    return orig[kept] if orig is not None else np.flatnonzero(kept)
 
 
 def _triangle_area(x, y, i, j, k):

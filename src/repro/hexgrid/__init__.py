@@ -14,6 +14,7 @@ Scalar helpers (:func:`latlng_to_cell`, :func:`cell_to_latlng`,
 
 from repro.hexgrid.cells import (
     EDGE0_M,
+    cell_axial_array,
     cell_edge_length_m,
     cell_resolution,
     cell_to_latlng,
@@ -27,6 +28,7 @@ from repro.hexgrid.cells import (
 
 __all__ = [
     "EDGE0_M",
+    "cell_axial_array",
     "cell_edge_length_m",
     "cell_resolution",
     "cell_to_latlng",

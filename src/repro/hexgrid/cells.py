@@ -58,6 +58,20 @@ def cell_resolution(cell):
     return np.asarray(cell, dtype=np.int64) >> 56
 
 
+def cell_axial_array(cells):
+    """Vectorised axial unpack: packed cell ids to ``(q, r)`` int64 arrays.
+
+    The bulk twin of the bit-shift inside :func:`grid_distance`; search
+    engines precompute per-node ``(q, r)`` with this once so per-query
+    heuristics become two integer subtractions on arrays instead of a
+    scalar bit-unpack per edge relaxation.
+    """
+    cells = np.asarray(cells, dtype=np.int64)
+    q = ((cells >> 28) & _FIELD_MASK) - _OFFSET
+    r = (cells & _FIELD_MASK) - _OFFSET
+    return q, r
+
+
 def _project(lats, lngs):
     """Equirectangular forward projection to metres."""
     lats = np.asarray(lats, dtype=np.float64)
@@ -105,8 +119,32 @@ def latlng_to_cell_array(lats, lngs, resolution):
 
 
 def latlng_to_cell(lat, lng, resolution):
-    """Scalar version of :func:`latlng_to_cell_array`."""
-    return int(latlng_to_cell_array(np.float64(lat), np.float64(lng), resolution))
+    """Scalar version of :func:`latlng_to_cell_array`.
+
+    Pure ``math``-module arithmetic (no array round trip) because this
+    sits on the per-query serve path; mirrors the array kernel operation
+    for operation so both index identically (pinned by the scalar/array
+    parity tests).
+    """
+    _check_resolution(resolution)
+    size = EDGE0_M / (_SQRT7**resolution)
+    lat = float(lat)
+    y = lat * M_PER_DEG
+    x = float(lng) * M_PER_DEG * math.cos(math.radians(lat))
+    qf = (_SQRT3 / 3.0 * x - y / 3.0) / size
+    rf = (2.0 / 3.0 * y) / size
+    sf = -qf - rf
+    q = round(qf)
+    r = round(rf)
+    s = round(sf)
+    dq = abs(q - qf)
+    dr = abs(r - rf)
+    ds = abs(s - sf)
+    if dq > dr and dq > ds:
+        q = -r - s
+    elif dr > ds:
+        r = -q - s
+    return (resolution << 56) | ((int(q) + _OFFSET) << 28) | (int(r) + _OFFSET)
 
 
 def cell_to_latlng_array(cells):

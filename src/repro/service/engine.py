@@ -4,18 +4,31 @@ The engine is the service's query executor.  A batch is grouped by
 ``(dataset, typed)`` so each model -- plain or typed -- is resolved
 through the registry exactly once (one cache probe / disk load / fit per
 model, however many gaps ride on it), then the per-gap imputations fan
-out over a thread pool.  Fitted
-imputers are read-only, so concurrent ``impute`` calls on one model are
-safe; single-request batches skip the pool entirely.
+out over a thread pool.  Fitted imputers are read-only, so concurrent
+``impute`` calls on one model are safe; single-request batches skip the
+pool entirely.
+
+On top of the model cache sits a **snap-and-path LRU cache**: hub-to-hub
+queries from large fleets mostly repeat, and a route depends only on the
+graph and the *snapped* endpoints -- never on the raw query positions.
+Each request snaps its endpoints (memoized per graph), then looks up the
+search result under ``(model id, class tag, revision, snapped src,
+snapped dst)``; a hit renders the cached route without touching the
+search heap at all.  ``revision`` in the key makes incremental refreshes
+self-invalidating, and negative results (no route) are cached too.
 
 Every result carries :class:`repro.service.schema.Provenance`: which
 model answered, how it was obtained (cache hit / disk load / fit), the
-routing method actually used (including the straight-line fallback
-flag), the metric path length, and per-request wall-clock latency.
+path-cache tier (``hit``/``miss``/``bypass``), the routing method
+actually used (including the straight-line fallback flag), nodes
+expanded by the search, the metric path length, and per-request
+wall-clock latency.
 """
 
 import os
+import threading
 import time
+from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor
 
 from repro.core import HabitConfig
@@ -24,13 +37,49 @@ from repro.service.schema import ImputeResult, Provenance
 
 __all__ = ["BatchImputationEngine"]
 
+#: Sentinel distinguishing "not cached" from a cached no-route (None).
+_MISSING = object()
+
+
+class _PathCache:
+    """Thread-safe bounded LRU of search results keyed by snapped routes."""
+
+    def __init__(self, capacity):
+        self.capacity = int(capacity)
+        self._entries = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key):
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+                self.hits += 1
+                return self._entries[key]
+            self.misses += 1
+            return _MISSING
+
+    def put(self, key, value):
+        with self._lock:
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+
+    def __len__(self):
+        return len(self._entries)
+
 
 class BatchImputationEngine:
     """Executes batches of gap requests against a model registry."""
 
-    def __init__(self, registry, max_workers=None):
+    def __init__(self, registry, max_workers=None, path_cache_size=4096):
         self.registry = registry
         self.max_workers = int(max_workers or min(8, (os.cpu_count() or 2)))
+        #: LRU over (model id, class tag, revision, snapped src, snapped
+        #: dst) -> SearchResult | None; 0 disables route caching.
+        self.path_cache = _PathCache(path_cache_size) if path_cache_size else None
 
     def run(self, requests, config=None):
         """Impute every request; returns results in request order.
@@ -62,13 +111,47 @@ class BatchImputationEngine:
                 )
             )
 
+    def _route_cached(self, imputer, model_id, request):
+        """Snap, probe the path cache, search on miss.
+
+        Returns ``(path, tier)`` where *tier* is the path-cache tier for
+        provenance.  Falls back to the plain ``impute`` call (tier
+        ``"bypass"``) when caching is disabled or the model exposes no
+        snap/route/render stages.
+        """
+        class_tag = ""
+        plain = imputer
+        if request.typed:
+            resolver = getattr(imputer, "resolve", None)
+            if resolver is None:
+                plain = None
+            else:
+                plain, class_tag = resolver(request.vessel_type)
+        if (
+            self.path_cache is None
+            or plain is None
+            or not hasattr(plain, "snap_endpoints")
+        ):
+            if request.typed:
+                return imputer.impute(request.start, request.end, request.vessel_type), "bypass"
+            return imputer.impute(request.start, request.end), "bypass"
+        snapped = plain.snap_endpoints(request.start, request.end)
+        if snapped is None:  # out-of-coverage: straight line, nothing to cache
+            return plain.render_path(request.start, request.end, None), "bypass"
+        key = (model_id, class_tag, plain.revision, snapped[0], snapped[1])
+        result = self.path_cache.get(key)
+        if result is _MISSING:
+            result = plain.route(snapped[0], snapped[1])
+            self.path_cache.put(key, result)
+            tier = "miss"
+        else:
+            tier = "hit"
+        return plain.render_path(request.start, request.end, result), tier
+
     def _impute_one(self, resolved, request):
         imputer, model_id, source = resolved
         started = time.perf_counter()
-        if request.typed:
-            path = imputer.impute(request.start, request.end, request.vessel_type)
-        else:
-            path = imputer.impute(request.start, request.end)
+        path, path_tier = self._route_cached(imputer, model_id, request)
         elapsed_ms = (time.perf_counter() - started) * 1e3
         provenance = Provenance(
             model_id=model_id,
@@ -79,6 +162,8 @@ class BatchImputationEngine:
             path_length_m=float(path_length_m(path.lats, path.lngs)),
             elapsed_ms=elapsed_ms,
             revision=getattr(imputer, "revision", 1),
+            path_cache=path_tier,
+            expanded=path.expanded,
         )
         return ImputeResult(
             request=request, lats=path.lats, lngs=path.lngs, provenance=provenance

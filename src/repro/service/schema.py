@@ -59,11 +59,18 @@ class Provenance:
 
     ``cache`` records how the model was obtained: ``"hit"`` (in-memory),
     ``"load"`` (read from the registry directory) or ``"fit"`` (fitted on
-    miss).  ``revision`` is the model's incremental-refresh counter (1
-    until the first :meth:`repro.service.ModelRegistry.refresh`), so
-    clients can tell which vintage of the model answered.
-    ``path_length_m`` is the metric length of the returned polyline --
-    the path-cost measure exposed to clients.
+    miss).  ``path_cache`` records the engine's snap-and-path cache tier
+    for the *route*: ``"hit"`` (answered without touching the search
+    heap), ``"miss"`` (searched, now cached) or ``"bypass"`` (uncacheable
+    -- snap fallback or cache disabled).  ``expanded`` is the number of
+    nodes the search that produced the route settled (0 for straight
+    lines; preserved on cache hits even though the heap wasn't touched),
+    so heuristic quality is observable per served response.  ``revision``
+    is the model's incremental-refresh counter (1 until the first
+    :meth:`repro.service.ModelRegistry.refresh`), so clients can tell
+    which vintage of the model answered.  ``path_length_m`` is the
+    metric length of the returned polyline -- the path-cost measure
+    exposed to clients.
     """
 
     model_id: str
@@ -74,6 +81,8 @@ class Provenance:
     path_length_m: float
     elapsed_ms: float
     revision: int = 1
+    path_cache: str = "bypass"
+    expanded: int = 0
 
     def to_dict(self):
         """Plain-dict view for JSON responses."""

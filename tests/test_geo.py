@@ -65,6 +65,22 @@ def test_rdp_removed_points_stay_within_tolerance(rng):
         assert best <= tolerance + 1e-6
 
 
+def test_rdp_keeps_collinear_overshoot_spikes():
+    # An out-and-back excursion along one meridian: the spike is exactly
+    # collinear with its neighbours but far outside their chord, so the
+    # fast-path pre-drop must leave it for the exact scan to keep.
+    lats = np.array([55.0, 55.1, 55.001, 54.9])
+    lngs = np.full(4, 10.0)
+    out_lat, _ = rdp_simplify(lats, lngs, 200.0)
+    assert 55.1 in out_lat
+    # Degenerate chord: the point's neighbours coincide (vessel returned
+    # to the same position); the 25 km spike between them must survive.
+    lats = np.array([55.0, 55.2, 55.0, 54.8])
+    lngs = np.array([10.0, 10.3, 10.0, 10.0])
+    out_lat, out_lng = rdp_simplify(lats, lngs, 200.0)
+    assert 55.2 in out_lat and 10.3 in out_lng
+
+
 def test_vw_collinear_collapses(zigzag):
     lats = np.full(20, 55.0)
     lngs = 10.0 + np.arange(20) * 0.01

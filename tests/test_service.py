@@ -559,3 +559,89 @@ def test_engine_results_are_finite(registry, service_model, tiny_kiel):
     )
     for result in results:
         assert np.all(np.isfinite(result.lats)) and np.all(np.isfinite(result.lngs))
+
+
+# -- snap-and-path cache --------------------------------------------------
+
+
+def test_engine_path_cache_hits_on_repeat(registry, service_model, tiny_kiel):
+    gap = tiny_kiel.gaps(3600.0)[0]
+    engine = BatchImputationEngine(registry)
+    request = [GapRequest("KIEL", gap.start, gap.end, "r0")]
+    (first,) = engine.run(request, service_model.config)
+    assert first.provenance.path_cache == "miss"
+    assert first.provenance.expanded > 0
+    (second,) = engine.run(request, service_model.config)
+    assert second.provenance.path_cache == "hit"
+    # Cached routes render identically, and keep the original search effort.
+    assert np.array_equal(first.lats, second.lats)
+    assert np.array_equal(first.lngs, second.lngs)
+    assert second.provenance.expanded == first.provenance.expanded
+    assert engine.path_cache.hits == 1 and engine.path_cache.misses == 1
+    # A nearby-but-distinct endpoint that snaps to the same cells also hits.
+    nudged = [
+        GapRequest(
+            "KIEL",
+            (gap.start[0] + 1e-7, gap.start[1]),
+            (gap.end[0], gap.end[1] - 1e-7),
+            "r1",
+        )
+    ]
+    (third,) = engine.run(nudged, service_model.config)
+    assert third.provenance.path_cache == "hit"
+    # ...while the exact endpoints are still pinned per request.
+    assert third.lats[0] == pytest.approx(gap.start[0] + 1e-7)
+
+
+def test_engine_path_cache_bypasses_fallback(registry, service_model):
+    request = [GapRequest("KIEL", (10.0, -40.0), (11.0, -41.0), "ocean")]
+    engine = BatchImputationEngine(registry)
+    (result,) = engine.run(request, service_model.config)
+    assert result.provenance.fallback is True
+    assert result.provenance.path_cache == "bypass"
+    assert result.provenance.expanded == 0
+
+
+def test_engine_path_cache_disabled(registry, service_model, tiny_kiel):
+    gap = tiny_kiel.gaps(3600.0)[0]
+    engine = BatchImputationEngine(registry, path_cache_size=0)
+    request = [GapRequest("KIEL", gap.start, gap.end, "r0")]
+    for _ in range(2):
+        (result,) = engine.run(request, service_model.config)
+        assert result.provenance.path_cache == "bypass"
+        assert result.provenance.expanded > 0  # search still ran
+
+
+def test_engine_path_cache_invalidated_by_refresh(registry, service_model, tiny_kiel):
+    gap = tiny_kiel.gaps(3600.0)[0]
+    engine = BatchImputationEngine(registry)
+    request = [GapRequest("KIEL", gap.start, gap.end, "r0")]
+    engine.run(request, service_model.config)
+    (warm,) = engine.run(request, service_model.config)
+    assert warm.provenance.path_cache == "hit"
+    registry.refresh("KIEL", tiny_kiel.test, service_model.config)
+    (after,) = engine.run(request, service_model.config)
+    # New revision => new cache key: the stale route is never served.
+    assert after.provenance.revision == 2
+    assert after.provenance.path_cache == "miss"
+
+
+def test_engine_path_cache_typed_routes_by_class(registry, service_model, tiny_kiel):
+    from repro.core import TypedHabitImputer
+
+    typed = TypedHabitImputer(service_model.config, min_group_rows=100).fit_from_trips(
+        tiny_kiel.train
+    )
+    registry.publish("KIEL", typed)
+    gap = tiny_kiel.gaps(3600.0)[0]
+    engine = BatchImputationEngine(registry)
+    known = typed.fitted_groups[0]
+    req = lambda rid, vt: [  # noqa: E731
+        GapRequest("KIEL", gap.start, gap.end, rid, typed=True, vessel_type=vt)
+    ]
+    (a,) = engine.run(req("a", known), service_model.config)
+    (b,) = engine.run(req("b", known), service_model.config)
+    assert a.provenance.path_cache == "miss" and b.provenance.path_cache == "hit"
+    # A different class resolves a different graph: no cross-class reuse.
+    (c,) = engine.run(req("c", "submarine"), service_model.config)
+    assert c.provenance.path_cache == "miss"
