@@ -5,10 +5,25 @@
 Danish-Maritime-Authority-style CSV, parquet when pandas is available)
 onto that schema, so the synthetic generators are one backend among
 several.  :func:`read_csv_chunks` streams month-scale dumps as
-bounded-memory chunks for the incremental fit path.
+bounded-memory chunks for the incremental fit path, and
+:class:`CsvFollower` tails a still-growing dump for the live-refresh
+serving daemon.
 """
 
 from repro.ais import schema
-from repro.ais.reader import AISFormatError, read_csv, read_csv_chunks, read_parquet
+from repro.ais.reader import (
+    AISFormatError,
+    CsvFollower,
+    read_csv,
+    read_csv_chunks,
+    read_parquet,
+)
 
-__all__ = ["AISFormatError", "read_csv", "read_csv_chunks", "read_parquet", "schema"]
+__all__ = [
+    "AISFormatError",
+    "CsvFollower",
+    "read_csv",
+    "read_csv_chunks",
+    "read_parquet",
+    "schema",
+]

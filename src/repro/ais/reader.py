@@ -18,6 +18,8 @@ raise :class:`AISFormatError` naming what could not be mapped.
 """
 
 import csv
+import io
+import os
 from datetime import datetime, timezone
 from pathlib import Path
 
@@ -26,7 +28,13 @@ import numpy as np
 from repro.ais import schema
 from repro.minidb import Table
 
-__all__ = ["AISFormatError", "read_csv", "read_csv_chunks", "read_parquet"]
+__all__ = [
+    "AISFormatError",
+    "CsvFollower",
+    "read_csv",
+    "read_csv_chunks",
+    "read_parquet",
+]
 
 #: Default rows per chunk for :func:`read_csv_chunks` (~tens of MB of
 #: parsed arrays; month-scale dumps stream in hundreds of chunks).
@@ -241,6 +249,202 @@ def read_csv_chunks(path, chunk_rows=DEFAULT_CHUNK_ROWS, delimiter=","):
                 buffer = []
         if buffer:
             yield _rows_to_table(header, buffer, str(path))
+
+
+class CsvFollower:
+    """Incremental reader over a *growing* AIS dump (``tail -f`` for CSVs).
+
+    :func:`read_csv_chunks` reads to end-of-file and stops;
+    a live-refresh daemon instead needs to pick up rows appended after
+    the last read.  A follower remembers its byte offset into the file
+    and each :meth:`poll` parses only what arrived since -- through the
+    same alias mapping and value coercion as :func:`read_csv`, so
+    concatenating every polled chunk reproduces ``read_csv(path)`` over
+    the rows seen so far.
+
+    Append semantics:
+
+    - Only *complete* lines are consumed: a write caught mid-line stays
+      unread until its terminating newline lands, so a torn row is never
+      parsed as data.  The feed must be line-oriented: one row per
+      physical line, no quoted fields containing embedded newlines (a
+      quoting dialect no public AIS dump uses; such rows would be split
+      at the raw newline and dropped by the field-count filter).
+    - The header is read (and validated against
+      :data:`REQUIRED_COLUMNS`) on the first poll that sees it; polls
+      before any data simply return nothing.
+    - Truncating or rotating the file underneath a follower raises
+      :class:`AISFormatError` -- the offset no longer names real bytes,
+      and silently rereading a rotated file would double-ingest.
+
+    This is the ingestion half of the service's ``--follow`` mode; see
+    :class:`repro.service.follow.FollowDaemon` for the full loop.
+    """
+
+    #: Upper bound on bytes read per :meth:`poll` -- keeps the peak
+    #: memory of catching up on a large backlog at one slice, not the
+    #: whole file; the daemon simply polls again for the rest.
+    MAX_POLL_BYTES = 32 * 1024 * 1024
+
+    def __init__(self, path, chunk_rows=DEFAULT_CHUNK_ROWS, delimiter=","):
+        if chunk_rows < 1:
+            raise ValueError(f"chunk_rows must be positive, got {chunk_rows}")
+        self.path = Path(path)
+        self.chunk_rows = int(chunk_rows)
+        self.delimiter = delimiter
+        self._offset = 0
+        self._header = None
+        self._inode = None  # identity of the file the offset belongs to
+        #: Source rows consumed so far (complete data lines, pre-coercion).
+        self.rows_read = 0
+
+    def poll(self):
+        """Parse rows appended since the last poll; returns a list of Tables.
+
+        Each table holds at most ``chunk_rows`` source rows, and one
+        poll reads at most :data:`MAX_POLL_BYTES` from the file (a large
+        backlog drains over successive polls, so memory stays bounded
+        regardless of how far behind the follower is).  Returns ``[]``
+        when nothing complete has arrived (including before the header
+        line lands).  Safe to call on a path that does not exist yet --
+        that also returns ``[]``.
+        """
+        try:
+            with open(self.path, "rb") as handle:
+                stat = os.fstat(handle.fileno())
+                # The offset only means anything on the file it was read
+                # from: a create-mode rotation swaps the inode, and a
+                # fast writer can regrow the replacement past the offset
+                # before the next poll -- size alone would miss that.
+                # Identity is only enforced once bytes were consumed
+                # (offset > 0): before that, a writer atomically
+                # publishing the first content over an empty placeholder
+                # is a fresh start, not a rotation.
+                ident = (stat.st_dev, stat.st_ino)
+                if self._offset and self._inode is not None and ident != self._inode:
+                    raise AISFormatError(
+                        f"{self.path}: file was replaced under the follower "
+                        "(inode changed); rotation is not followable -- "
+                        "restart the follower"
+                    )
+                self._inode = ident
+                if stat.st_size < self._offset:
+                    raise AISFormatError(
+                        f"{self.path}: file shrank below the follow offset "
+                        f"({stat.st_size} < {self._offset}); truncation/rotation "
+                        "is not followable -- restart the follower"
+                    )
+                handle.seek(self._offset)
+                data = handle.read(self.MAX_POLL_BYTES)
+        except FileNotFoundError:
+            if self._offset:
+                raise AISFormatError(
+                    f"{self.path}: file disappeared mid-follow"
+                ) from None
+            return []
+        cut = data.rfind(b"\n")
+        if cut < 0:
+            if len(data) >= self.MAX_POLL_BYTES:
+                raise AISFormatError(
+                    f"{self.path}: no newline within {self.MAX_POLL_BYTES} "
+                    "bytes; not a line-oriented CSV feed"
+                )
+            return []
+        # Parse the slice fully *before* committing the offset: a decode
+        # or structure error must leave the follower exactly where it
+        # was, so a retry (or an operator fixing the feed) re-reads the
+        # same bytes instead of silently skipping the whole slice.
+        text = data[: cut + 1].decode("utf-8")
+        header = self._header
+        if header is None and text.startswith("\ufeff"):
+            text = text[1:]  # utf-8-sig BOM, possible only at file start
+        rows = list(csv.reader(io.StringIO(text, newline=""), delimiter=self.delimiter))
+        if header is None:
+            if not rows:
+                return []
+            # Validate structure on the first sight of the header, like
+            # read_csv_chunks: a broken dump fails immediately, not after
+            # hours of appends.
+            header = rows.pop(0)
+            _map_header(header, str(self.path))
+        width = len(header)
+        cells = [row for row in rows if len(row) == width]
+        tables = [
+            _rows_to_table(header, cells[i : i + self.chunk_rows], str(self.path))
+            for i in range(0, len(cells), self.chunk_rows)
+        ]
+        self._header = header
+        self._offset += cut + 1
+        self.rows_read += len(cells)
+        return tables
+
+    # -- persistence (daemon restarts must not re-ingest) ------------------
+
+    def state(self):
+        """JSON-ready resume point: byte offset, rows read, file identity.
+
+        Persist this after downstream processing succeeds and hand it to
+        :meth:`resume` on the next run -- re-polling from byte 0 would
+        feed every historical row into the consumer a second time.
+        """
+        return {
+            "offset": self._offset,
+            "rows_read": self.rows_read,
+            "inode": list(self._inode) if self._inode is not None else None,
+        }
+
+    def resume(self, state):
+        """Continue a previous follower's position on the same file.
+
+        Re-reads and re-validates the header from the top of the file
+        (the offset already points past it), restores the byte offset,
+        and pins the recorded file identity -- a dump replaced while the
+        follower was down raises :class:`AISFormatError` rather than
+        guessing whether re-reading would double-ingest; drop the saved
+        state to deliberately start over on the new file.  Returns self.
+        """
+        offset = int(state["offset"])
+        if offset <= 0:
+            return self
+        try:
+            with open(self.path, "rb") as handle:
+                stat = os.fstat(handle.fileno())
+                header_line = handle.readline(offset)
+        except FileNotFoundError:
+            raise AISFormatError(
+                f"{self.path}: cannot resume, file is gone; drop the saved "
+                "follow state to start over"
+            ) from None
+        recorded = state.get("inode")
+        # Across restarts only the inode number is compared: st_dev is
+        # not stable across reboots/remounts, and rejecting an intact
+        # file would force a destructive re-baseline.  (In-run polls
+        # still compare the full (dev, ino) pair -- devices cannot
+        # change under a live process without a remount-style rotation.)
+        if recorded is not None and recorded[-1] != stat.st_ino:
+            raise AISFormatError(
+                f"{self.path}: file was replaced while the follower was down; "
+                "drop the saved follow state to start over on the new file"
+            )
+        if stat.st_size < offset:
+            raise AISFormatError(
+                f"{self.path}: file shrank below the saved offset "
+                f"({stat.st_size} < {offset}); drop the saved follow state "
+                "to start over"
+            )
+        header = next(
+            csv.reader([header_line.decode("utf-8").lstrip("\ufeff")],
+                       delimiter=self.delimiter),
+            None,
+        )
+        if not header:
+            raise AISFormatError(f"{self.path}: cannot resume, no header row")
+        _map_header(header, str(self.path))
+        self._header = header
+        self._offset = offset
+        self._inode = (stat.st_dev, stat.st_ino)
+        self.rows_read = int(state.get("rows_read", 0))
+        return self
 
 
 def read_parquet(path):

@@ -30,6 +30,8 @@ imputer degrades to a straight line, flagged in ``ImputedPath.method``.
 
 import hashlib
 import json
+import os
+import threading
 import zipfile
 from dataclasses import asdict, dataclass
 from pathlib import Path
@@ -202,6 +204,28 @@ def _normalize_npz_path(path):
     return path
 
 
+def _atomic_savez(path, payload):
+    """``np.savez`` via a same-directory temp file + ``os.replace``.
+
+    Model files are republished *in place* by the registry's refresh
+    path while other processes (pool workers, sibling daemons) may be
+    loading them; a write-in-place ``np.savez`` would expose truncated
+    zips to those readers.  The rename is atomic on POSIX, so readers
+    see either the old or the new artefact, never a torn one.  The temp
+    name is pid *and* thread unique -- two threads of one daemon (say, a
+    publish racing a follow refresh) must not interleave writes into a
+    shared temp file either.
+    """
+    tmp = path.with_name(f".{path.name}.tmp-{os.getpid()}-{threading.get_ident()}")
+    try:
+        with open(tmp, "wb") as handle:
+            np.savez(handle, **payload)
+        os.replace(tmp, path)
+    except BaseException:
+        tmp.unlink(missing_ok=True)
+        raise
+
+
 @dataclass(frozen=True)
 class HabitConfig:
     """Tuning knobs for :class:`HabitImputer`.
@@ -251,6 +275,11 @@ class HabitImputer:
         self.transition_stats = None
         #: Accumulated mergeable fit state (None until a partial fit).
         self._state = None
+        #: The state the current graph was built from -- states are
+        #: immutable and rebound on every fold, so identity against
+        #: ``_state`` is an exact "graph is stale" test (the typed
+        #: refresh path uses it to skip rebuilding untouched classes).
+        self._finalized_state = None
         #: Bumped by every :meth:`update`; surfaced in serving provenance.
         self.revision = 1
 
@@ -303,6 +332,7 @@ class HabitImputer:
             # Pay landmark preprocessing once at fit time; the tables
             # ride in the (v4) model payload so loads skip this.
             self.graph.ensure_landmarks(self.config.num_landmarks)
+        self._finalized_state = self._state
         return self
 
     def fit_from_trips(self, trips):
@@ -324,6 +354,33 @@ class HabitImputer:
         self.fit_partial(trips)
         self.revision += 1
         return self.finalize()
+
+    def fork(self):
+        """A fresh, unfinalised imputer sharing this model's fit state.
+
+        The serving registry's refresh path never mutates a served
+        instance: it forks the model, folds new data into the fork via
+        :meth:`update`, and swaps the fork in.  States are immutable, so
+        sharing one between the original and the fork is safe; the
+        built graph rides along too (queries never mutate it beyond its
+        own locked memos), which lets a typed refresh skip rebuilding
+        classes the new chunk never touched.  Raises ``ValueError`` on a
+        model saved without its fit state (there is nothing refreshable
+        to share).
+        """
+        if self._state is None:
+            raise ValueError(
+                "model was saved without its fit state and cannot be "
+                "refreshed incrementally; refit from the full history"
+            )
+        fresh = type(self)(self.config)
+        fresh._state = self._state
+        fresh._finalized_state = self._finalized_state
+        fresh.graph = self.graph
+        fresh.cell_stats = self.cell_stats
+        fresh.transition_stats = self.transition_stats
+        fresh.revision = self.revision
+        return fresh
 
     def _require_fitted(self):
         if self.graph is None:
@@ -445,7 +502,7 @@ class HabitImputer:
         }
         if include_state and self._state is not None:
             payload.update(self._state.payload(_STATE_PREFIX))
-        np.savez(path, **payload)
+        _atomic_savez(path, payload)
         return path
 
     @classmethod
@@ -468,4 +525,6 @@ class HabitImputer:
             imputer.revision = int(data["revision"][0])
             if _STATE_PREFIX + "meta" in data.files:
                 imputer._state = StatisticsState.from_payload(data, _STATE_PREFIX)
+                # The persisted graph was built from this very state.
+                imputer._finalized_state = imputer._state
         return imputer

@@ -1,17 +1,26 @@
 """CLI daemon: ``python -m repro.service``.
 
-Fit models into a registry directory, serve them over HTTP, or both::
+Fit models into a registry directory, serve them over HTTP, or both --
+and optionally keep a served model live-refreshed from a growing dump::
 
     python -m repro.service --fit DAN --fit KIEL      # populate the registry
     python -m repro.service --serve --port 8080       # serve what's there
     python -m repro.service --fit DAN --serve         # one-shot demo
 
+    # live refresh: tail a growing dump, refresh DAN's model on cadence
+    python -m repro.service --fit DAN --serve --follow dumps/dan-live.csv
+
     curl -s localhost:8080/impute -d \\
       '{"dataset": "DAN", "start": [55.7, 11.9], "end": [55.9, 11.8]}'
+    curl -s localhost:8080/models     # revision / last_refresh feed
+
+Every flag is documented in ``--help`` and, with operational context, in
+``docs/OPERATIONS.md``.
 """
 
 import argparse
 
+from repro.ais.reader import DEFAULT_CHUNK_ROWS
 from repro.core import HabitConfig
 from repro.service.http import make_server
 from repro.service.registry import ModelRegistry
@@ -22,7 +31,10 @@ __all__ = ["main"]
 def _build_parser():
     parser = argparse.ArgumentParser(
         prog="python -m repro.service",
-        description="Fit HABIT models into a registry and/or serve them over HTTP.",
+        description=(
+            "Fit HABIT models into a registry, serve them over HTTP, and/or "
+            "live-refresh a served model from a growing AIS dump."
+        ),
     )
     parser.add_argument(
         "--fit",
@@ -34,7 +46,10 @@ def _build_parser():
     parser.add_argument(
         "--typed",
         action="store_true",
-        help="fit TypedHabitImputer models (per-vessel-class graphs) instead of plain",
+        help=(
+            "fit TypedHabitImputer models (per-vessel-class graphs) instead of "
+            "plain; with --follow, refresh the typed model"
+        ),
     )
     parser.add_argument("--serve", action="store_true", help="start the HTTP daemon")
     parser.add_argument(
@@ -53,33 +68,98 @@ def _build_parser():
         default=0.1,
         help="dataset scale for fitting (default: %(default)s)",
     )
-    parser.add_argument("--seed", type=int, default=0)
-    parser.add_argument("--host", default="127.0.0.1")
-    parser.add_argument("--port", type=int, default=8080)
+    parser.add_argument("--seed", type=int, default=0, help="dataset seed for fitting")
+    parser.add_argument("--host", default="127.0.0.1", help="bind address for --serve")
+    parser.add_argument("--port", type=int, default=8080, help="bind port for --serve")
     parser.add_argument(
         "--capacity", type=int, default=8, help="LRU cache size in models"
     )
     parser.add_argument(
-        "--workers", type=int, default=None, help="imputation thread-pool size"
+        "--workers", type=int, default=None, help="imputation executor fan-out width"
+    )
+    parser.add_argument(
+        "--executor",
+        choices=("thread", "process"),
+        default="thread",
+        help=(
+            "batch executor: 'thread' (in-process, lowest latency) or 'process' "
+            "(worker processes for CPU-bound batches; recorded in provenance)"
+        ),
     )
     parser.add_argument(
         "--fit-on-miss",
         action="store_true",
         help="fit (at --scale) when a requested model is neither cached nor on disk",
     )
+    follow = parser.add_argument_group("live refresh (requires --serve)")
+    follow.add_argument(
+        "--follow",
+        metavar="DUMP_CSV",
+        default=None,
+        help=(
+            "tail this growing AIS dump and fold newly closed trips into the "
+            "--follow-dataset model on a cadence (revision visible at /models)"
+        ),
+    )
+    follow.add_argument(
+        "--follow-dataset",
+        metavar="DATASET",
+        default=None,
+        help=(
+            "model the follow loop refreshes (default: the single --fit dataset "
+            "when exactly one was given)"
+        ),
+    )
+    follow.add_argument(
+        "--refresh-interval",
+        type=float,
+        default=5.0,
+        metavar="SECONDS",
+        help="minimum seconds between model refreshes (default: %(default)s)",
+    )
+    follow.add_argument(
+        "--poll-interval",
+        type=float,
+        default=0.5,
+        metavar="SECONDS",
+        help="seconds between dump polls (default: %(default)s)",
+    )
+    follow.add_argument(
+        "--chunk-rows",
+        type=int,
+        default=DEFAULT_CHUNK_ROWS,
+        metavar="ROWS",
+        help="max source rows parsed per chunk (default: %(default)s)",
+    )
     default = HabitConfig()
     model = parser.add_argument_group("model config")
-    model.add_argument("--resolution", type=int, default=default.resolution)
-    model.add_argument("--tolerance-m", type=float, default=default.tolerance_m)
     model.add_argument(
-        "--projection", choices=("center", "median"), default=default.projection
+        "--resolution", type=int, default=default.resolution, help="hex grid resolution"
+    )
+    model.add_argument(
+        "--tolerance-m",
+        type=float,
+        default=default.tolerance_m,
+        help="RDP simplification tolerance in metres",
+    )
+    model.add_argument(
+        "--projection",
+        choices=("center", "median"),
+        default=default.projection,
+        help="node placement: cell centres or per-cell medians",
     )
     model.add_argument(
         "--edge-weight",
         choices=("transitions", "inverse_frequency"),
         default=default.edge_weight,
+        help="edge cost scheme",
     )
-    model.add_argument("--resample-m", type=float, default=default.resample_m)
+    model.add_argument(
+        "--resample-m",
+        type=float,
+        default=default.resample_m,
+        help="output point spacing in metres",
+    )
     return parser
 
 
@@ -98,6 +178,16 @@ def main(argv=None):
     args = parser.parse_args(argv)
     if not args.fit and not args.serve:
         parser.error("nothing to do: pass --fit DATASET and/or --serve")
+    if args.follow and not args.serve:
+        parser.error("--follow requires --serve (the refresh loop rides the daemon)")
+    follow_dataset = args.follow_dataset
+    if args.follow and follow_dataset is None:
+        if len(args.fit) == 1:
+            follow_dataset = args.fit[0]
+        else:
+            parser.error(
+                "--follow needs --follow-dataset (or exactly one --fit DATASET)"
+            )
     config = _config_from_args(args)
 
     # Imported lazily: --serve alone must not pay for the experiments layer.
@@ -129,17 +219,46 @@ def main(argv=None):
                 scale=args.scale, seed=args.seed, cache_dir=args.data_cache
             )
         registry = ModelRegistry(args.registry, capacity=args.capacity, fitter=fitter)
+        follow = None
+        if args.follow:
+            from repro.service.follow import FollowDaemon
+
+            follow = FollowDaemon(
+                registry,
+                args.follow,
+                follow_dataset,
+                config=config,
+                typed=args.typed,
+                refresh_interval_s=args.refresh_interval,
+                poll_interval_s=args.poll_interval,
+                chunk_rows=args.chunk_rows,
+            ).start()
+            print(
+                f"following {args.follow} -> {follow_dataset} "
+                f"(refresh every {args.refresh_interval:g}s)"
+            )
         server = make_server(
-            registry, host=args.host, port=args.port, max_workers=args.workers
+            registry,
+            host=args.host,
+            port=args.port,
+            max_workers=args.workers,
+            executor=args.executor,
+            follow=follow,
         )
         host, port = server.server_address[:2]
-        print(f"serving on http://{host}:{port} (registry: {args.registry})")
+        print(
+            f"serving on http://{host}:{port} "
+            f"(registry: {args.registry}, executor: {args.executor})"
+        )
         try:
             server.serve_forever()
         except KeyboardInterrupt:
             pass
         finally:
+            if follow is not None:
+                follow.stop()
             server.server_close()
+            server.engine.close()
 
 
 if __name__ == "__main__":

@@ -4,9 +4,30 @@ The engine is the service's query executor.  A batch is grouped by
 ``(dataset, typed)`` so each model -- plain or typed -- is resolved
 through the registry exactly once (one cache probe / disk load / fit per
 model, however many gaps ride on it), then the per-gap imputations fan
-out over a thread pool.  Fitted imputers are read-only, so concurrent
-``impute`` calls on one model are safe; single-request batches skip the
-pool entirely.
+out over an executor.
+
+Two executors are available (``executor=`` at construction, recorded in
+every result's provenance):
+
+- ``"thread"`` (default) -- a :class:`~concurrent.futures.ThreadPoolExecutor`.
+  Fitted imputers are read-only, so concurrent ``impute`` calls on one
+  model are safe; single-request batches skip the pool entirely.  The
+  right choice for latency-sensitive serving: no serialisation, shared
+  path cache, models resolved once per process.
+- ``"process"`` -- a persistent
+  :class:`~concurrent.futures.ProcessPoolExecutor`.  CPU-bound batches
+  (long searches, many gaps) escape the GIL by fanning contiguous slices
+  of the batch across worker processes.  Workers resolve models from the
+  registry *directory* (the registry's files-are-the-contract property)
+  into a per-process cache, so models cross the process boundary via the
+  filesystem once, never per task.  The parent probes every model
+  before dispatch -- a warm cache entry or a cheap file-revision peek;
+  only a genuine miss pays a full resolution (fit-on-miss / corrupt
+  semantics included) -- so unresolvable models fail before any work is
+  sent without the parent loading graphs only workers will query.
+  Worker-side provenance reflects the worker's own cache tiers (first
+  batch: ``"load"``), and the imputed paths are identical to the thread
+  executor's.
 
 On top of the model cache sits a **snap-and-path LRU cache**: hub-to-hub
 queries from large fleets mostly repeat, and a route depends only on the
@@ -16,20 +37,23 @@ search result under ``(model id, class tag, revision, snapped src,
 snapped dst)``; a hit renders the cached route without touching the
 search heap at all.  ``revision`` in the key makes incremental refreshes
 self-invalidating, and negative results (no route) are cached too.
+Process-pool workers each hold their own path cache, which persists
+across batches for the life of the pool.
 
 Every result carries :class:`repro.service.schema.Provenance`: which
 model answered, how it was obtained (cache hit / disk load / fit), the
-path-cache tier (``hit``/``miss``/``bypass``), the routing method
-actually used (including the straight-line fallback flag), nodes
-expanded by the search, the metric path length, and per-request
-wall-clock latency.
+path-cache tier (``hit``/``miss``/``bypass``), the executor that ran the
+request (``thread``/``process``), the routing method actually used
+(including the straight-line fallback flag), nodes expanded by the
+search, the metric path length, and per-request wall-clock latency.
 """
 
+import multiprocessing
 import os
 import threading
 import time
 from collections import OrderedDict
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 
 from repro.core import HabitConfig
 from repro.geo.proj import path_length_m
@@ -39,6 +63,9 @@ __all__ = ["BatchImputationEngine"]
 
 #: Sentinel distinguishing "not cached" from a cached no-route (None).
 _MISSING = object()
+
+#: Executor names accepted by :class:`BatchImputationEngine`.
+EXECUTORS = ("thread", "process")
 
 
 class _PathCache:
@@ -72,24 +99,76 @@ class _PathCache:
 
 
 class BatchImputationEngine:
-    """Executes batches of gap requests against a model registry."""
+    """Executes batches of gap requests against a model registry.
 
-    def __init__(self, registry, max_workers=None, path_cache_size=4096):
+    Parameters: *registry* (a :class:`repro.service.ModelRegistry`),
+    *max_workers* (fan-out width, default ``min(8, cpu_count)``),
+    *path_cache_size* (snap-and-path LRU entries, 0 disables), and
+    *executor* (``"thread"`` or ``"process"``, see the module docstring
+    for the trade-off).  A process-mode engine owns a persistent worker
+    pool; call :meth:`close` (or use the engine as a context manager)
+    to release it.
+    """
+
+    def __init__(self, registry, max_workers=None, path_cache_size=4096, executor="thread"):
+        if executor not in EXECUTORS:
+            raise ValueError(f"executor must be one of {EXECUTORS}, got {executor!r}")
         self.registry = registry
         self.max_workers = int(max_workers or min(8, (os.cpu_count() or 2)))
+        self.executor = executor
         #: LRU over (model id, class tag, revision, snapped src, snapped
         #: dst) -> SearchResult | None; 0 disables route caching.
         self.path_cache = _PathCache(path_cache_size) if path_cache_size else None
+        self._path_cache_size = path_cache_size
+        self._pool = None  # lazy, persistent ProcessPoolExecutor
+        self._pool_lock = threading.Lock()
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self):
+        """Shut down the process pool, if one was started."""
+        with self._pool_lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        self.close()
+
+    def _process_pool(self):
+        # Locked: concurrent first requests on the threaded server must
+        # not each spawn (and half-orphan) a worker pool.
+        with self._pool_lock:
+            if self._pool is None:
+                # Spawn, never fork: the pool is created lazily from a
+                # request thread of an already multi-threaded daemon (HTTP
+                # handlers, follow ingest), and forking a threaded process
+                # can hand workers a copy of someone's held lock.  Workers
+                # rebuild everything from the registry path anyway, so the
+                # only cost is a one-time interpreter start per worker.
+                self._pool = ProcessPoolExecutor(
+                    max_workers=self.max_workers,
+                    mp_context=multiprocessing.get_context("spawn"),
+                )
+            return self._pool
+
+    # -- execution ---------------------------------------------------------
 
     def run(self, requests, config=None):
         """Impute every request; returns results in request order.
 
         *config* applies to the whole batch (the transport parses it once
         per payload).  Raises :class:`repro.service.registry.ModelNotFound`
-        if any request names a dataset with no resolvable model.
+        if any request names a dataset with no resolvable model -- in
+        process mode too, before any work is dispatched.
         """
         requests = list(requests)
         config = config or HabitConfig()
+        if self.executor == "process" and requests:
+            return self._run_process(requests, config)
         models = {}
         for request in requests:
             key = (request.dataset.upper(), request.typed)
@@ -99,17 +178,85 @@ class BatchImputationEngine:
                 )
         if len(requests) <= 1:
             return [
-                self._impute_one(models[(r.dataset.upper(), r.typed)], r)
+                self._impute_one(models[(r.dataset.upper(), r.typed)], r, "thread")
                 for r in requests
             ]
         workers = min(self.max_workers, len(requests))
         with ThreadPoolExecutor(max_workers=workers) as pool:
             return list(
                 pool.map(
-                    lambda r: self._impute_one(models[(r.dataset.upper(), r.typed)], r),
+                    lambda r: self._impute_one(
+                        models[(r.dataset.upper(), r.typed)], r, "thread"
+                    ),
                     requests,
                 )
             )
+
+    def _run_process(self, requests, config):
+        """Fan contiguous slices of the batch across the worker pool.
+
+        The parent establishes that every model is resolvable *before*
+        dispatch, but cheaply: a warm cache entry or the file's revision
+        field answers without loading a graph the parent will never
+        query (only a genuine miss pays a full :meth:`registry.get`,
+        which applies the fit-on-miss/corrupt-file semantics and
+        publishes for the workers).  The resolved revisions ride along
+        so a warm worker drops a cached model that a refresh has since
+        superseded -- workers never serve older revisions than the
+        parent just observed.  Slice order concatenates back to request
+        order.
+        """
+        revisions = {}
+        for request in requests:
+            key = (request.dataset.upper(), request.typed)
+            if key in revisions:
+                continue
+            model_id, revision = self.registry.peek_revision(
+                request.dataset, config, typed=request.typed
+            )
+            if revision is None:
+                imputer, model_id, _ = self.registry.get(
+                    request.dataset, config, typed=request.typed
+                )
+                revision = getattr(imputer, "revision", 1)
+            revisions[key] = (model_id, revision)
+        pool = self._process_pool()
+        workers = min(self.max_workers, len(requests))
+        per_slice = -(-len(requests) // workers)  # ceil division
+        slices = [
+            requests[i : i + per_slice] for i in range(0, len(requests), per_slice)
+        ]
+        root = str(self.registry.root)
+        futures = [
+            pool.submit(
+                _process_batch,
+                root,
+                self._path_cache_size,
+                batch,
+                config,
+                dict(revisions.values()),
+            )
+            for batch in slices
+        ]
+        results = []
+        for future in futures:
+            results.extend(future.result())
+        return results
+
+    def _run_serial(self, requests, config, label):
+        """Resolve-once + sequential impute; the worker-side half of
+        process mode (one worker is single-threaded by design)."""
+        models = {}
+        for request in requests:
+            key = (request.dataset.upper(), request.typed)
+            if key not in models:
+                models[key] = self.registry.get(
+                    request.dataset, config, typed=request.typed
+                )
+        return [
+            self._impute_one(models[(r.dataset.upper(), r.typed)], r, label)
+            for r in requests
+        ]
 
     def _route_cached(self, imputer, model_id, request):
         """Snap, probe the path cache, search on miss.
@@ -148,7 +295,7 @@ class BatchImputationEngine:
             tier = "hit"
         return plain.render_path(request.start, request.end, result), tier
 
-    def _impute_one(self, resolved, request):
+    def _impute_one(self, resolved, request, executor_label):
         imputer, model_id, source = resolved
         started = time.perf_counter()
         path, path_tier = self._route_cached(imputer, model_id, request)
@@ -164,7 +311,39 @@ class BatchImputationEngine:
             revision=getattr(imputer, "revision", 1),
             path_cache=path_tier,
             expanded=path.expanded,
+            executor=executor_label,
         )
         return ImputeResult(
             request=request, lats=path.lats, lngs=path.lngs, provenance=provenance
         )
+
+
+# -- process-pool worker side ---------------------------------------------
+
+#: Per-worker-process engine cache: registry root -> (path_cache_size,
+#: BatchImputationEngine).  Models and path caches stay warm across
+#: batches for the life of the pool.
+_WORKER_ENGINES = {}
+
+
+def _process_batch(root, path_cache_size, requests, config, revisions):
+    """Run one batch slice inside a worker process.
+
+    Module-level (picklable by reference); builds a thread-mode engine
+    over its own registry on first use and reuses it afterwards.
+    *revisions* (model id -> revision the parent resolved) evicts any
+    worker-cached model a refresh has superseded before serving.
+    """
+    from repro.service.registry import ModelRegistry
+
+    cached = _WORKER_ENGINES.get(root)
+    if cached is None or cached[0] != path_cache_size:
+        engine = BatchImputationEngine(
+            ModelRegistry(root), max_workers=1, path_cache_size=path_cache_size
+        )
+        _WORKER_ENGINES[root] = (path_cache_size, engine)
+    else:
+        engine = cached[1]
+    for model_id, revision in revisions.items():
+        engine.registry.ensure_revision(model_id, revision)
+    return engine._run_serial(requests, config, "process")

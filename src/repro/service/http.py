@@ -2,9 +2,15 @@
 
 Three routes:
 
-- ``GET /healthz`` -- liveness plus registry cache counters.
-- ``GET /models``  -- every model in the registry directory (id, dataset,
-  config hash, size, whether it is warm in memory).
+- ``GET /healthz`` -- liveness plus registry cache counters (hits /
+  loads / fits / evictions / refreshes) and, when a follow daemon is
+  attached, its ``follow`` status block (rows read, trips closed,
+  refreshes, current revision, last error).
+- ``GET /models``  -- the model/revision feed: every model in the
+  registry directory (id, dataset, config hash, size, whether it is
+  warm in memory) plus its freshness fields -- ``revision``,
+  ``last_refresh``, ``rows_ingested`` -- so clients can detect a stale
+  model without imputing through it.
 - ``POST /impute`` -- a batch of gap requests (see
   :mod:`repro.service.schema`); the response carries per-request
   provenance and a GeoJSON FeatureCollection of the imputed paths.
@@ -12,7 +18,8 @@ Three routes:
 Schema violations map to 400, unresolvable models to 404, everything
 else to 500 with the error message in the body.  The server is a
 :class:`ThreadingHTTPServer`, so requests run concurrently; all shared
-state lives in the (locked) registry and the read-only models.
+state lives in the (locked) registry, the read-only models, and the
+follow daemon's own locked status snapshot.
 """
 
 import json
@@ -27,29 +34,41 @@ from repro.service.schema import SchemaError, parse_impute_payload
 __all__ = ["make_server"]
 
 
-def make_server(registry, host="127.0.0.1", port=8080, max_workers=None):
+def make_server(
+    registry, host="127.0.0.1", port=8080, max_workers=None, executor="thread", follow=None
+):
     """A ready-to-run HTTP server over *registry*.
 
+    *executor* picks the batch engine's fan-out (``"thread"`` or
+    ``"process"``, see :class:`repro.service.BatchImputationEngine`);
+    *follow* optionally attaches a started
+    :class:`repro.service.FollowDaemon`, surfaced under ``/healthz``.
     Pass ``port=0`` to bind an ephemeral port (tests); the chosen port is
-    ``server.server_address[1]``.  The caller owns the serve loop::
+    ``server.server_address[1]``.  The caller owns the serve loop (and
+    the engine shutdown -- ``server.engine.close()`` releases a process
+    pool)::
 
         server = make_server(registry, port=8080)
         server.serve_forever()
     """
-    engine = BatchImputationEngine(registry, max_workers=max_workers)
+    engine = BatchImputationEngine(registry, max_workers=max_workers, executor=executor)
 
     class Handler(_ServiceHandler):
         pass
 
     Handler.engine = engine
     Handler.registry = registry
+    Handler.follow = follow
     Handler.started_monotonic = time.monotonic()
-    return ThreadingHTTPServer((host, port), Handler)
+    server = ThreadingHTTPServer((host, port), Handler)
+    server.engine = engine  # so callers can close() a process pool
+    return server
 
 
 class _ServiceHandler(BaseHTTPRequestHandler):
     engine = None
     registry = None
+    follow = None
     started_monotonic = 0.0
     server_version = "repro-service/1"
     protocol_version = "HTTP/1.1"
@@ -70,20 +89,22 @@ class _ServiceHandler(BaseHTTPRequestHandler):
     def do_GET(self):
         if self.path == "/healthz":
             stats = self.registry.stats
-            self._send_json(
-                200,
-                {
-                    "status": "ok",
-                    "uptime_s": time.monotonic() - self.started_monotonic,
-                    "models_loaded": len(self.registry.loaded_ids),
-                    "cache": {
-                        "hits": stats.hits,
-                        "loads": stats.loads,
-                        "fits": stats.fits,
-                        "evictions": stats.evictions,
-                    },
+            payload = {
+                "status": "ok",
+                "uptime_s": time.monotonic() - self.started_monotonic,
+                "models_loaded": len(self.registry.loaded_ids),
+                "executor": self.engine.executor,
+                "cache": {
+                    "hits": stats.hits,
+                    "loads": stats.loads,
+                    "fits": stats.fits,
+                    "evictions": stats.evictions,
+                    "refreshes": stats.refreshes,
                 },
-            )
+            }
+            if self.follow is not None:
+                payload["follow"] = self.follow.status()
+            self._send_json(200, payload)
         elif self.path == "/models":
             self._send_json(200, {"models": self.registry.list_models()})
         else:

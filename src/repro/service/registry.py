@@ -17,11 +17,14 @@ ids without coordination.
    that also accepts ``typed=True`` serves typed misses too.
 
 :meth:`ModelRegistry.refresh` is the incremental path: it merges a chunk
-of newly arrived (segmented) trips into the resolved model's fit state,
-rebuilds the graph, bumps the model ``revision`` -- surfaced in response
-provenance -- and republishes.  The served instance is never mutated:
-the refreshed model *replaces* it in cache and on disk, so in-flight
-queries keep reading the old read-only graph.
+of newly arrived (segmented) trips into the resolved model's fit state
+(plain models) or per-class fit states (typed models), rebuilds the
+graph(s), bumps the model ``revision`` -- surfaced in response provenance
+and the ``/models`` feed -- and republishes.  The served instance is
+never mutated: the refreshed model *replaces* it in cache and on disk,
+so in-flight queries keep reading the old read-only graph.  Per-model
+refresh bookkeeping (``last_refresh``, ``rows_ingested``) rides into
+:meth:`ModelRegistry.list_models` so clients can monitor freshness.
 
 Cache bookkeeping is guarded by one registry lock, while slow work
 (disk loads, fits, refreshes) runs outside it under a per-model-id lock --
@@ -31,9 +34,12 @@ concurrent misses on the same model dedupe to one load/fit.
 
 import inspect
 import threading
+import time
 from collections import OrderedDict
 from dataclasses import dataclass
 from pathlib import Path
+
+import numpy as np
 
 from repro.core import (
     HabitConfig,
@@ -90,6 +96,14 @@ class ModelRegistry:
         self._resolving = {}
         self._hits = self._loads = self._fits = self._evictions = 0
         self._refreshes = 0
+        # Per-model refresh bookkeeping for the /models feed: model_id ->
+        # {"last_refresh": epoch seconds, "rows_ingested": cumulative rows,
+        #  "refreshes": count}.  In-memory (daemon-local), like stats.
+        self._refresh_meta = {}
+        # path -> (mtime_ns, revision) memo for the polled /models feed;
+        # publishes go through an atomic replace, so mtime is a reliable
+        # invalidation key and repeat polls cost one stat per cold model.
+        self._revision_memo = {}
 
     # -- naming -----------------------------------------------------------
 
@@ -167,37 +181,36 @@ class ModelRegistry:
 
         Resolves the model like :meth:`get`, folds *chunk* (a segmented
         trip table, e.g. one :class:`repro.core.StreamingSegmenter`
-        emission) into its fit state, bumps the model ``revision``, and
-        republishes to cache and disk.  Returns
-        ``(imputer, model_id, revision)``.
+        emission) into its fit state -- per-class states for typed models
+        -- bumps the model ``revision``, and republishes to cache and
+        disk.  Returns ``(imputer, model_id, revision)``.
 
-        Typed models have no incremental path yet and raise
-        ``ValueError``; so do models whose file was saved without fit
-        state.
+        The served instance is never mutated: the base model is *forked*
+        (states are immutable and shared), the fork absorbs the chunk,
+        and the fork replaces the original in cache and on disk --
+        in-flight queries keep reading the old graph.  Models whose file
+        was saved without fit state raise ``ValueError``.
         """
-        if typed:
-            raise ValueError("typed models cannot be refreshed incrementally yet")
         config = config or HabitConfig()
-        model_id = self.model_id(dataset, config)
-        base, _, _ = self.get(dataset, config)
+        model_id = self.model_id(dataset, config, typed)
+        base, _, _ = self.get(dataset, config, typed=typed)
         with self._model_lock(model_id):
             with self._lock:
                 base = self._cache.get(model_id, base)
-            if base._state is None:
-                raise ValueError(
-                    f"model {model_id} was saved without its fit state and "
-                    "cannot be refreshed incrementally; refit from the full "
-                    "history"
-                )
-            # Replace, never mutate: in-flight queries keep the old
-            # instance alive; states are immutable so sharing one is safe.
-            fresh = HabitImputer(base.config)
-            fresh._state = base._state
-            fresh.revision = base.revision
+            # Replace, never mutate: fork() shares the (immutable) fit
+            # states and raises ValueError on state-less artefacts.
+            fresh = base.fork()
             fresh.update(chunk)
             fresh.save(self.root / f"{model_id}.npz")
+            now = time.time()
             with self._lock:
                 self._refreshes += 1
+                meta = self._refresh_meta.setdefault(
+                    model_id, {"refreshes": 0, "rows_ingested": 0, "last_refresh": None}
+                )
+                meta["refreshes"] += 1
+                meta["rows_ingested"] += int(chunk.num_rows)
+                meta["last_refresh"] = now
                 self._insert(model_id, fresh)
         return fresh, model_id, fresh.revision
 
@@ -253,10 +266,57 @@ class ModelRegistry:
         with self._lock:
             self._cache.clear()
 
-    def list_models(self):
-        """All models in the registry directory, as JSON-ready dicts."""
+    def peek_revision(self, dataset, config, typed=False):
+        """Cheap resolvability probe: ``(model_id, revision)`` or ``(id, None)``.
+
+        Answers from the in-memory cache when warm, otherwise from the
+        file's revision field alone -- no graph construction, no cache
+        insertion.  ``None`` means the model is not cheaply resolvable
+        (missing or unreadable file): callers fall back to :meth:`get`,
+        which applies the full fitter/corruption semantics.  The process
+        executor uses this so the parent never loads models only its
+        workers will query.
+        """
+        model_id = self.model_id(dataset, config, typed)
         with self._lock:
-            loaded = set(self._cache)
+            cached = self._cache.get(model_id)
+            if cached is not None:
+                return model_id, getattr(cached, "revision", 1)
+        path = self.root / f"{model_id}.npz"
+        if not path.exists():
+            return model_id, None
+        return model_id, self._stored_revision(path, typed)
+
+    def ensure_revision(self, model_id, revision):
+        """Drop a cached model older than *revision* (it reloads from disk).
+
+        Cross-process staleness guard: a refresh in another process
+        republishes the file but cannot touch this process's in-memory
+        cache.  Callers that learn the current revision out of band
+        (e.g. pool workers handed the parent's resolutions) call this
+        before serving, so the next :meth:`get` reloads the fresh
+        artefact instead of answering from a stale cache hit.
+        """
+        with self._lock:
+            cached = self._cache.get(model_id)
+            if cached is not None and getattr(cached, "revision", 1) < revision:
+                del self._cache[model_id]
+
+    def list_models(self):
+        """All models in the registry directory, as JSON-ready dicts.
+
+        Beyond identity (``model_id``, ``dataset``, ``config_hash``,
+        ``typed``, ``path``, ``size_bytes``, ``loaded``) every entry is a
+        freshness feed: ``revision`` (the model's incremental-refresh
+        counter, read from memory when warm, from the file otherwise --
+        ``None`` for an unreadable artefact), ``last_refresh`` (epoch
+        seconds of this registry's last :meth:`refresh` of the model, or
+        ``None``), ``rows_ingested`` and ``refreshes`` (cumulative, this
+        registry instance).  Clients poll this to detect staleness.
+        """
+        with self._lock:
+            cached = dict(self._cache)
+            meta = {k: dict(v) for k, v in self._refresh_meta.items()}
         entries = []
         for path in sorted(self.root.glob("*.npz")):
             model_id = path.stem
@@ -264,6 +324,11 @@ class ModelRegistry:
             typed = dataset.endswith(_TYPED_TAG)
             if typed:
                 dataset = dataset[: -len(_TYPED_TAG)]
+            if model_id in cached:
+                revision = cached[model_id].revision
+            else:
+                revision = self._stored_revision(path, typed)
+            model_meta = meta.get(model_id, {})
             entries.append(
                 {
                     "model_id": model_id,
@@ -272,7 +337,70 @@ class ModelRegistry:
                     "typed": typed,
                     "path": str(path),
                     "size_bytes": path.stat().st_size,
-                    "loaded": model_id in loaded,
+                    "loaded": model_id in cached,
+                    "revision": revision,
+                    "last_refresh": model_meta.get("last_refresh"),
+                    "rows_ingested": model_meta.get("rows_ingested", 0),
+                    "refreshes": model_meta.get("refreshes", 0),
                 }
             )
         return entries
+
+    def _stored_revision(self, path, typed):
+        """Peek a model file's revision without a full load (None if unloadable).
+
+        ``np.load`` reads the zip directory lazily, so this touches one
+        tiny array -- and repeat calls are memoized on the file's mtime,
+        so a polled ``/models`` feed costs one ``stat`` per cold model,
+        not a zip open.  Files predating the revision field report 1.
+
+        ``None`` means "do not trust this artefact": not just unreadable
+        zips, but any file the *expected* loader (plain vs *typed*,
+        derived from the model id) would reject -- wrong kind,
+        out-of-range version, missing graph arrays.  That keeps
+        :meth:`peek_revision`'s fast path honest -- a corrupt or
+        mis-kinded file falls through to :meth:`get`, which applies the
+        fitter semantics, instead of being dispatched to fitter-less
+        pool workers.
+        """
+        try:
+            mtime_ns = path.stat().st_mtime_ns
+        except OSError:
+            return None
+        key = str(path)
+        with self._lock:
+            memo = self._revision_memo.get(key)
+            if memo is not None and memo[0] == mtime_ns:
+                return memo[1]
+        revision = self._validated_revision(path, typed)
+        # Failures memoize too: a corrupt artefact must not be re-opened
+        # and re-validated on every /models poll -- the atomic-replace
+        # publish path guarantees a repair changes the mtime.
+        with self._lock:
+            self._revision_memo[key] = (mtime_ns, revision)
+        return revision
+
+    @staticmethod
+    def _validated_revision(path, typed):
+        """Revision if the file would plausibly load as its kind, else None.
+
+        Kind/version validation is delegated to the loader's own
+        :func:`repro.core.habit._check_format` so the peek cannot drift
+        from what ``load()`` actually accepts as the format evolves; the
+        graph-keys probe mirrors the loader's missing-arrays check.
+        """
+        from repro.core.habit import _GRAPH_KEYS, MODEL_FORMAT, _check_format
+        from repro.core.typed import TYPED_MODEL_FORMAT
+
+        kind = TYPED_MODEL_FORMAT if typed else MODEL_FORMAT
+        prefix = "fallback_" if typed else ""
+        try:
+            with np.load(path) as data:
+                _check_format(data, kind, path)
+                if any(prefix + key not in data.files for key in _GRAPH_KEYS):
+                    return None
+                if "revision" in data.files:
+                    return int(data["revision"][0])
+                return 1
+        except Exception:
+            return None

@@ -68,8 +68,11 @@ class Provenance:
     so heuristic quality is observable per served response.  ``revision``
     is the model's incremental-refresh counter (1 until the first
     :meth:`repro.service.ModelRegistry.refresh`), so clients can tell
-    which vintage of the model answered.  ``path_length_m`` is the
-    metric length of the returned polyline -- the path-cost measure
+    which vintage of the model answered.  ``executor`` records which
+    batch executor ran the request -- ``"thread"`` (in-process pool, the
+    default) or ``"process"`` (fanned to a worker process; see
+    :class:`repro.service.BatchImputationEngine`).  ``path_length_m`` is
+    the metric length of the returned polyline -- the path-cost measure
     exposed to clients.
     """
 
@@ -83,6 +86,7 @@ class Provenance:
     revision: int = 1
     path_cache: str = "bypass"
     expanded: int = 0
+    executor: str = "thread"
 
     def to_dict(self):
         """Plain-dict view for JSON responses."""

@@ -17,6 +17,16 @@ def tiny_kiel(tiny_cache):
     return common.prepare("KIEL", scale=0.02, cache_dir=tiny_cache)
 
 
+@pytest.fixture(scope="session")
+def service_model(tiny_kiel):
+    """One fitted KIEL model shared by the serving-layer tests."""
+    from repro.core import HabitConfig, HabitImputer
+
+    return HabitImputer(HabitConfig(resolution=9, tolerance_m=100.0)).fit_from_trips(
+        tiny_kiel.train
+    )
+
+
 @pytest.fixture()
 def rng():
     return np.random.default_rng(7)

@@ -24,13 +24,6 @@ from repro.service import (
 )
 
 
-@pytest.fixture(scope="module")
-def service_model(tiny_kiel):
-    return HabitImputer(HabitConfig(resolution=9, tolerance_m=100.0)).fit_from_trips(
-        tiny_kiel.train
-    )
-
-
 @pytest.fixture()
 def registry(tmp_path, service_model):
     reg = ModelRegistry(tmp_path / "models", capacity=4)
@@ -201,6 +194,81 @@ def test_engine_unknown_dataset_raises(registry, service_model):
         BatchImputationEngine(registry).run([request], service_model.config)
 
 
+def test_engine_process_pool_matches_thread_pool(registry, service_model, tiny_kiel):
+    gaps = tiny_kiel.gaps(3600.0)
+    requests = _gap_requests("KIEL", gaps, n=6)
+    thread_results = BatchImputationEngine(registry).run(requests, service_model.config)
+    with BatchImputationEngine(
+        registry, max_workers=2, executor="process"
+    ) as engine:
+        process_results = engine.run(requests, service_model.config)
+        # The pool is persistent: a second batch reuses warm workers.
+        again = engine.run(requests[:2], service_model.config)
+    assert len(process_results) == len(thread_results)
+    for t, p in zip(thread_results, process_results):
+        assert p.request.request_id == t.request.request_id
+        assert np.array_equal(p.lats, t.lats) and np.array_equal(p.lngs, t.lngs)
+        assert p.provenance.model_id == t.provenance.model_id
+        assert p.provenance.method == t.provenance.method
+        assert t.provenance.executor == "thread"
+        assert p.provenance.executor == "process"
+    assert all(r.provenance.executor == "process" for r in again)
+
+
+def test_process_workers_see_refreshed_revision(registry, service_model, tiny_kiel):
+    """A refresh in the parent must reach warm workers: the parent's
+    resolved revision rides with each batch and evicts stale worker
+    caches, so process mode never serves an older revision than /models
+    advertises."""
+    gap = tiny_kiel.gaps(3600.0)[0]
+    request = [GapRequest("KIEL", gap.start, gap.end, "r0")]
+    with BatchImputationEngine(registry, max_workers=1, executor="process") as engine:
+        (before,) = engine.run(request, service_model.config)
+        assert before.provenance.revision == 1
+        registry.refresh("KIEL", tiny_kiel.test, service_model.config)
+        (after,) = engine.run(request, service_model.config)
+        assert after.provenance.revision == 2
+        assert after.provenance.executor == "process"
+
+
+def test_peek_revision_rejects_unloadable_files(tmp_path, service_model):
+    """The process executor's cheap probe must not trust a file a real
+    load() would reject -- such files fall through to get() and its
+    fitter semantics instead of reaching fitter-less pool workers."""
+    reg = ModelRegistry(tmp_path / "reg")
+    config = service_model.config
+    # Valid zip with a readable revision but no graph arrays.
+    np.savez(
+        reg.path_for("KIEL", config),
+        format=np.array(["habit-npz", "4"]),
+        revision=np.array([3]),
+    )
+    _, revision = reg.peek_revision("KIEL", config)
+    assert revision is None
+    # A plain-format file sitting at a typed model id is mis-kinded:
+    # the typed loader would reject it, so the peek must too.
+    service_model.save(reg.path_for("KIEL", config, typed=True))
+    _, revision = reg.peek_revision("KIEL", config, typed=True)
+    assert revision is None
+    # A genuinely loadable publish peeks its real revision.
+    reg.publish("KIEL", service_model)
+    reg.evict_all()
+    _, revision = reg.peek_revision("KIEL", config)
+    assert revision == service_model.revision
+
+
+def test_engine_rejects_unknown_executor(registry):
+    with pytest.raises(ValueError, match="executor"):
+        BatchImputationEngine(registry, executor="fiber")
+
+
+def test_engine_process_pool_unknown_dataset_raises_in_parent(registry, service_model):
+    request = GapRequest("ATLANTIS", (54.0, 10.0), (55.0, 11.0), "x")
+    with BatchImputationEngine(registry, executor="process") as engine:
+        with pytest.raises(ModelNotFound):
+            engine.run([request], service_model.config)
+
+
 def test_result_feature_carries_provenance(registry, service_model, tiny_kiel):
     gap = tiny_kiel.gaps(3600.0)[0]
     request = GapRequest("KIEL", gap.start, gap.end, "g0")
@@ -340,9 +408,47 @@ def test_refresh_grows_coverage_not_mutating_served_instance(
     assert refreshed.graph.num_nodes >= nodes_before
 
 
-def test_refresh_rejects_typed_models(registry, tiny_kiel):
-    with pytest.raises(ValueError, match="typed"):
-        registry.refresh("KIEL", tiny_kiel.test, HabitConfig(), typed=True)
+def test_registry_refresh_typed_model(registry, service_model, tiny_kiel):
+    config = service_model.config
+    typed = TypedHabitImputer(config, min_group_rows=100).fit_from_trips(
+        tiny_kiel.train
+    )
+    typed_id, _ = registry.publish("KIEL", typed)
+    refreshed, model_id, revision = registry.refresh(
+        "KIEL", tiny_kiel.test, config, typed=True
+    )
+    assert model_id == typed_id and revision == 2
+    assert refreshed is not typed  # replace semantics for typed models too
+    # Rebuilt graphs take the new revision (path-cache keys read them);
+    # the chunk is cargo-only, so the untouched tanker class keeps its
+    # revision and its warm cached routes.
+    assert refreshed.fallback.revision == 2
+    assert refreshed.by_type["cargo"].revision == 2
+    assert refreshed.by_type["tanker"].revision == 1
+    # The refreshed typed model round-trips through a cold process.
+    loaded, _, source = ModelRegistry(registry.root).get("KIEL", config, typed=True)
+    assert source == "load" and loaded.revision == 2
+    gap = tiny_kiel.gaps(3600.0)[0]
+    (result,) = BatchImputationEngine(registry).run(
+        [GapRequest("KIEL", gap.start, gap.end, "t0", typed=True)], config
+    )
+    assert result.provenance.revision == 2
+
+
+def test_models_feed_reports_revision_and_refresh(registry, service_model, tiny_kiel):
+    (entry,) = registry.list_models()
+    assert entry["revision"] == 1
+    assert entry["last_refresh"] is None and entry["rows_ingested"] == 0
+    registry.refresh("KIEL", tiny_kiel.test, service_model.config)
+    (entry,) = registry.list_models()
+    assert entry["revision"] == 2 and entry["refreshes"] == 1
+    assert entry["rows_ingested"] == tiny_kiel.test.num_rows
+    assert entry["last_refresh"] is not None
+    # A cold registry on the same directory reads the revision from the
+    # file (refresh bookkeeping is daemon-local and starts over).
+    (cold,) = ModelRegistry(registry.root).list_models()
+    assert cold["revision"] == 2 and cold["loaded"] is False
+    assert cold["rows_ingested"] == 0
 
 
 def test_refresh_rejects_stateless_models(tmp_path, tiny_kiel, service_model):
@@ -459,9 +565,14 @@ def test_http_impute_returns_geojson_with_provenance(server, tiny_kiel, service_
 def test_http_health_and_models(server):
     status, health = _get(server, "/healthz")
     assert status == 200 and health["status"] == "ok"
-    assert {"hits", "loads", "fits", "evictions"} <= set(health["cache"])
+    assert {"hits", "loads", "fits", "evictions", "refreshes"} <= set(health["cache"])
+    assert health["executor"] == "thread"
+    assert "follow" not in health  # no daemon attached to this server
     status, models = _get(server, "/models")
     assert status == 200 and len(models["models"]) == 1
+    entry = models["models"][0]
+    assert {"revision", "last_refresh", "rows_ingested"} <= set(entry)
+    assert entry["revision"] == 1
 
 
 def test_http_error_statuses(server):

@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Fail on broken intra-repo markdown links.
+
+Scans every tracked ``*.md`` file for ``[text](target)`` links, resolves
+relative targets against the file's directory, and exits non-zero
+listing any that point at nothing.  External links (``http(s)://``,
+``mailto:``) and pure in-page anchors (``#...``) are skipped; a relative
+target's ``#anchor`` suffix is ignored (only file existence is checked).
+
+Run from anywhere inside the repo::
+
+    python tools/check_links.py
+"""
+
+import re
+import sys
+from pathlib import Path
+
+#: Inline markdown links; images share the syntax (the leading ``!`` is
+#: irrelevant to target resolution).
+LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+
+SKIP_DIRS = {".git", ".pytest_cache", ".cache", "__pycache__", "node_modules"}
+
+
+def iter_markdown(root):
+    for path in sorted(root.rglob("*.md")):
+        if not SKIP_DIRS.intersection(part for part in path.parts):
+            yield path
+
+
+def check(root):
+    broken = []
+    for path in iter_markdown(root):
+        text = path.read_text(encoding="utf-8")
+        # Fenced code blocks legitimately contain link-shaped syntax
+        # (e.g. JSON examples); strip them before scanning.
+        text = re.sub(r"```.*?```", "", text, flags=re.DOTALL)
+        for match in LINK.finditer(text):
+            target = match.group(1)
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue
+            if target.startswith("#"):
+                continue  # in-page anchor
+            relative = target.split("#", 1)[0]
+            if not relative:
+                continue
+            resolved = (path.parent / relative).resolve()
+            if not resolved.exists():
+                broken.append((path.relative_to(root), target))
+    return broken
+
+
+def main():
+    root = Path(__file__).resolve().parent.parent
+    broken = check(root)
+    if broken:
+        print(f"{len(broken)} broken intra-repo markdown link(s):")
+        for source, target in broken:
+            print(f"  {source}: {target}")
+        return 1
+    print("all intra-repo markdown links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,123 @@
+#!/usr/bin/env python3
+"""Run the README's quickstart and live-refresh stories as a smoke test.
+
+Two stages, both against temp directories (nothing lands in the repo):
+
+1. **Quickstart** -- extracts the first ``python`` code block under the
+   README's "## Quickstart" heading and ``exec``s it verbatim, so the
+   snippet users copy-paste is guaranteed runnable.
+2. **Live refresh** -- drives the README's live-refresh story through
+   the public API at test scale: fit a model into a registry, start a
+   :class:`repro.service.FollowDaemon` plus HTTP server over a growing
+   dump, append rows, and wait for the ``/models`` revision to bump.
+   Pass ``--models-feed FILE`` to save the final ``/models`` payload
+   (CI uploads it as an artifact).
+
+Usage::
+
+    python tools/docs_smoke.py [--models-feed models_feed.json]
+"""
+
+import argparse
+import json
+import os
+import re
+import sys
+import tempfile
+import threading
+import time
+import urllib.request
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+
+def run_quickstart(workdir):
+    readme = (REPO / "README.md").read_text(encoding="utf-8")
+    section = readme.split("## Quickstart", 1)[1]
+    match = re.search(r"```python\n(.*?)```", section, flags=re.DOTALL)
+    if match is None:
+        raise SystemExit("README.md: no python code block under '## Quickstart'")
+    snippet = match.group(1)
+    os.chdir(workdir)  # the snippet writes its dataset cache to ./.cache
+    print("-- quickstart snippet --")
+    exec(compile(snippet, "README.md#quickstart", "exec"), {"__name__": "__main__"})
+
+
+def _get_json(base, path):
+    with urllib.request.urlopen(base + path, timeout=10) as response:
+        return json.loads(response.read())
+
+
+def run_live_refresh(workdir, feed_path):
+    from repro.core import HabitConfig, HabitImputer
+    from repro.experiments import common
+    from repro.service import FollowDaemon, ModelRegistry, make_server
+
+    print("-- live refresh --")
+    config = HabitConfig(resolution=9)
+    data = common.prepare("KIEL", scale=0.02, cache_dir=str(workdir / "data"))
+    registry = ModelRegistry(workdir / "models")
+    registry.publish("KIEL", HabitImputer(config).fit_from_trips(data.train))
+
+    dump = workdir / "live.csv"
+    dump.write_text("vessel_id,t,lat,lon,sog,cog,vessel_type\n")
+    daemon = FollowDaemon(
+        registry, dump, "KIEL", config=config,
+        refresh_interval_s=0.1, poll_interval_s=0.05,
+    ).start()
+    server = make_server(registry, port=0, follow=daemon)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    base = "http://{}:{}".format(*server.server_address[:2])
+    try:
+        (entry,) = _get_json(base, "/models")["models"]
+        assert entry["revision"] == 1, entry
+        with open(dump, "a") as handle:
+            t0 = 1_000_000
+            for i in range(20):
+                handle.write(f"901,{t0 + 30 * i},{54.4 + 0.001 * i:.6f},{10.3 + 0.001 * i:.6f},8.0,45.0,cargo\n")
+            handle.write(f"901,{t0 + 9000},54.4,10.3,8.0,45.0,cargo\n")
+        deadline = time.monotonic() + 60.0
+        while time.monotonic() < deadline:
+            (entry,) = _get_json(base, "/models")["models"]
+            if (entry["revision"] or 0) >= 2:
+                break
+            time.sleep(0.1)
+        else:
+            raise SystemExit(f"revision never bumped; last /models entry: {entry}")
+        print(
+            f"revision {entry['revision']}, rows_ingested {entry['rows_ingested']}, "
+            f"follow status: {daemon.status()}"
+        )
+        if feed_path:
+            feed_path.write_text(json.dumps(_get_json(base, "/models"), indent=2))
+            print(f"wrote /models feed to {feed_path}")
+    finally:
+        daemon.stop()
+        server.shutdown()
+        server.server_close()
+        server.engine.close()
+        thread.join(timeout=5)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--models-feed",
+        type=Path,
+        default=None,
+        help="write the final /models payload to this file",
+    )
+    args = parser.parse_args()
+    feed_path = args.models_feed.resolve() if args.models_feed else None
+    with tempfile.TemporaryDirectory(prefix="docs-smoke-") as tmp:
+        workdir = Path(tmp)
+        run_quickstart(workdir)
+        run_live_refresh(workdir, feed_path)
+    print("docs smoke: OK")
+
+
+if __name__ == "__main__":
+    main()
