@@ -22,7 +22,12 @@ implement the critical-point compression ablation, and
 """
 
 from repro.core.annotate import annotate_events, clean_messages, compress_trajectory
-from repro.core.graph import SEARCH_METHODS, CellGraph, SearchResult
+from repro.core.graph import (
+    GOAL_DIRECTED_METHODS,
+    SEARCH_METHODS,
+    CellGraph,
+    SearchResult,
+)
 from repro.core.habit import HabitConfig, HabitImputer, ModelFormatError, config_hash
 from repro.core.parallel import compute_statistics_sharded, parallel_fit, shard_trips
 from repro.core.path import ImputedPath, straight_line_path
@@ -41,6 +46,7 @@ from repro.core.typed import TypedHabitImputer
 
 __all__ = [
     "CellGraph",
+    "GOAL_DIRECTED_METHODS",
     "HabitConfig",
     "HabitImputer",
     "ImputedPath",

@@ -29,6 +29,13 @@ Search variants (:meth:`CellGraph.find_path`):
   CSR-Dijkstra distance tables (:meth:`CellGraph.compute_landmarks`),
   persisted in format-v4 model files so loaded models skip
   preprocessing.
+- ``"ch"`` (default) -- contraction hierarchies.  An offline pass
+  (:meth:`CellGraph.compute_ch`) contracts nodes in edge-difference
+  order (lazy re-evaluation) and records shortcut edges with
+  middle-node back-pointers; queries run a bidirectional upward-only
+  Dijkstra with stall-on-demand pruning and unpack shortcuts back into
+  original cells.  The hierarchy is stored as CSR ``int32`` arrays and
+  persisted in format-v5 model files.
 
 Two weight schemes are supported:
 
@@ -51,11 +58,16 @@ from repro.hexgrid import (
     ring,
 )
 
-__all__ = ["CellGraph", "SearchResult", "SEARCH_METHODS"]
+__all__ = ["CellGraph", "SearchResult", "SEARCH_METHODS", "GOAL_DIRECTED_METHODS"]
 
 #: Search variants accepted by :meth:`CellGraph.find_path` (and, through
 #: ``HabitConfig.search``, by the imputer's query path).
-SEARCH_METHODS = ("dijkstra", "astar", "bidirectional", "alt")
+SEARCH_METHODS = ("dijkstra", "astar", "bidirectional", "alt", "ch")
+
+#: The variants that search *toward* the goal (heuristic- or
+#: hierarchy-guided); each must settle no more nodes than plain Dijkstra
+#: on any admissible graph -- the bound the property suite asserts.
+GOAL_DIRECTED_METHODS = ("astar", "alt")
 
 _INF = float("inf")
 
@@ -67,6 +79,20 @@ _SNAP_CACHE_SIZE = 1 << 16
 #: concentrate on few destinations, so the vectorised grid/ALT heuristic
 #: pass is usually amortised to a dict probe; each entry is O(num_nodes).
 _H_CACHE_SIZE = 128
+
+#: Cap on nodes settled per witness search during CH contraction.  The
+#: witness search only ever *skips* a shortcut; hitting the cap adds a
+#: (redundant but harmless) shortcut, it never loses a necessary one,
+#: so correctness is independent of this knob -- only preprocessing
+#: time and hierarchy density depend on it.
+_CH_WITNESS_LIMIT = 64
+
+#: Relative slack when a witness path is compared against a candidate
+#: shortcut.  Costs are float sums in different association orders; a
+#: witness within this slack of the shortcut cost still proves the
+#: shortcut unnecessary (up to the same slack the equal-cost tests
+#: allow), while a genuinely longer witness never passes.
+_CH_WITNESS_RTOL = 1e-12
 
 
 def _edge_costs(grid_spans, counts, scheme):
@@ -138,6 +164,20 @@ class CellGraph:
         self.landmarks = None
         self.landmark_from = None
         self.landmark_to = None
+        # Optional contraction hierarchy (``compute_ch``): per-node
+        # contraction rank plus upward/downward shortcut CSR arrays with
+        # middle-node back-pointers (-1 = original edge).  ``ch_down_*``
+        # row u holds the *in*-neighbours of u with higher rank -- the
+        # backward query's adjacency and the forward query's stall probe.
+        self.ch_rank = None
+        self.ch_up_indptr = None
+        self.ch_up_indices = None
+        self.ch_up_costs = None
+        self.ch_up_middle = None
+        self.ch_down_indptr = None
+        self.ch_down_indices = None
+        self.ch_down_costs = None
+        self.ch_down_middle = None
         # Lazily built structures (hot-loop adjacency mirrors, legacy
         # dict views, snap memo, landmarks) share one reentrant lock
         # (landmark preprocessing builds the mirrors while holding it);
@@ -151,6 +191,9 @@ class CellGraph:
         self._snap_cache = {}
         self._h_cache = {}  # target idx -> (int64 array, python list)
         self._alt_h_cache = {}  # target idx -> python list
+        self._ch_up_lists = None  # hot-loop mirrors of the CH CSR arrays
+        self._ch_down_lists = None
+        self._ch_middle_map = None  # (u, v) -> middle node (unpacking)
 
     @classmethod
     def from_statistics(cls, cell_stats, transition_stats, projection, edge_weight):
@@ -411,6 +454,9 @@ class CellGraph:
             return SearchResult((cell,), 0.0, 0, method, (si,))
         if method == "bidirectional":
             found = self._bidirectional(si, di)
+        elif method == "ch":
+            self.ensure_ch()
+            found = self._ch_query(si, di)
         else:
             if method == "dijkstra":
                 h = None
@@ -694,3 +740,449 @@ class CellGraph:
                 self._alt_h_cache.clear()
             self._alt_h_cache[di] = h
         return h
+
+    # -- contraction hierarchy ---------------------------------------------
+
+    @property
+    def has_ch(self):
+        """Whether the contraction hierarchy is present."""
+        return self.ch_rank is not None
+
+    def ensure_ch(self):
+        """Compute the hierarchy if absent (idempotent, thread-safe)."""
+        if self.ch_rank is None:
+            with self._lock:
+                if self.ch_rank is None:
+                    self._compute_ch_locked()
+        return self
+
+    def compute_ch(self):
+        """(Re)build the contraction hierarchy.
+
+        Contracts every node in edge-difference order (shortcuts added
+        minus edges removed, plus a deleted-neighbours term for spatial
+        uniformity) with lazy priority re-evaluation: the cheapest node
+        is re-scored when popped and contracted only if it still beats
+        the next candidate.  Contracting ``w`` adds a shortcut
+        ``u -> v`` with cost ``c(u,w) + c(w,v)`` for every in/out
+        neighbour pair unless a bounded witness search proves an equally
+        cheap detour survives without ``w``; the witness search is
+        conservative (a truncated search adds a redundant shortcut, it
+        never drops a needed one), so CH distances are *exactly* the
+        Dijkstra distances.  The result is stored as upward/downward CSR
+        ``int32`` arrays with per-edge middle-node back-pointers for
+        path unpacking, persisted in format-v5 model files so loads skip
+        this pass.
+        """
+        with self._lock:
+            self._compute_ch_locked()
+        return self
+
+    def _compute_ch_locked(self):
+        n = self.num_nodes
+        # Overlay adjacency for the contraction pass: per-node dicts of
+        # the *remaining* graph plus accumulated shortcuts, deduplicated
+        # to the cheapest parallel edge (what every search relaxes
+        # anyway).  Self-loops can never lie on a cheapest path
+        # (all costs are positive) and are dropped.
+        out_adj = [dict() for _ in range(n)]
+        in_adj = [dict() for _ in range(n)]
+        indptr = self.indptr.tolist()
+        indices = self.indices.tolist()
+        costs = self.costs.tolist()
+        for u in range(n):
+            row = out_adj[u]
+            for e in range(indptr[u], indptr[u + 1]):
+                v = indices[e]
+                if v == u:
+                    continue
+                w = costs[e]
+                old = row.get(v)
+                if old is None or w < old[0]:
+                    row[v] = (w, -1)
+                    in_adj[v][u] = (w, -1)
+        contracted = bytearray(n)
+        rank = np.zeros(n, dtype=np.int32)
+        deleted = [0] * n
+
+        def witness_distances(source, skip, targets, limit):
+            """Bounded Dijkstra from *source* in the remaining overlay,
+            avoiding *skip*; returns tentative distances (a dict)."""
+            dist = {source: 0.0}
+            heap = [(0.0, source)]
+            remaining = set(targets)
+            settled = 0
+            while heap and remaining and settled < _CH_WITNESS_LIMIT:
+                d, u = heappop(heap)
+                if d > limit:
+                    break
+                if d > dist.get(u, _INF):
+                    continue  # stale heap entry
+                remaining.discard(u)
+                settled += 1
+                for v, (w, _) in out_adj[u].items():
+                    if v == skip or contracted[v]:
+                        continue
+                    nd = d + w
+                    if nd < dist.get(v, _INF):
+                        dist[v] = nd
+                        heappush(heap, (nd, v))
+            return dist
+
+        def shortcuts_for(w):
+            """Shortcuts required to preserve distances when *w* goes."""
+            ins = [
+                (u, cu) for u, (cu, _) in in_adj[w].items() if not contracted[u]
+            ]
+            outs = [
+                (v, cv) for v, (cv, _) in out_adj[w].items() if not contracted[v]
+            ]
+            if not ins or not outs:
+                return []
+            max_out = max(cv for _, cv in outs)
+            needed = []
+            for u, cuw in ins:
+                targets = [v for v, _ in outs if v != u]
+                if not targets:
+                    continue
+                dist = witness_distances(u, w, targets, cuw + max_out)
+                for v, cwv in outs:
+                    if v == u:
+                        continue
+                    through = cuw + cwv
+                    if dist.get(v, _INF) <= through * (1.0 + _CH_WITNESS_RTOL):
+                        continue  # a witness path survives without w
+                    needed.append((u, v, through))
+            return needed
+
+        def active_degree(w):
+            return sum(1 for u in in_adj[w] if not contracted[u]) + sum(
+                1 for v in out_adj[w] if not contracted[v]
+            )
+
+        # Lazy-re-evaluation contraction loop: priorities go stale as
+        # neighbours contract, so each popped node is re-scored and only
+        # contracted while it still beats the heap's next candidate.
+        heap = []
+        for w in range(n):
+            cuts = shortcuts_for(w)
+            heappush(heap, (len(cuts) - active_degree(w), w))
+        next_rank = 0
+        while heap:
+            _, w = heappop(heap)
+            if contracted[w]:
+                continue
+            cuts = shortcuts_for(w)
+            priority = len(cuts) - active_degree(w) + deleted[w]
+            if heap and priority > heap[0][0]:
+                heappush(heap, (priority, w))
+                continue
+            for u, v, cost in cuts:
+                old = out_adj[u].get(v)
+                if old is None or cost < old[0]:
+                    out_adj[u][v] = (cost, w)
+                    in_adj[v][u] = (cost, w)
+            contracted[w] = 1
+            rank[w] = next_rank
+            next_rank += 1
+            for u in in_adj[w]:
+                if not contracted[u]:
+                    deleted[u] += 1
+            for v in out_adj[w]:
+                if not contracted[v]:
+                    deleted[v] += 1
+
+        # Split the augmented edge set by rank direction.  ``up`` rows
+        # are outgoing edges to higher-ranked nodes (forward search);
+        # ``down`` rows are *incoming* edges from higher-ranked nodes
+        # (backward search, and the forward search's stall probe).
+        up_rows = [[] for _ in range(n)]
+        down_rows = [[] for _ in range(n)]
+        for u in range(n):
+            ru = rank[u]
+            for v, (cost, middle) in out_adj[u].items():
+                if rank[v] > ru:
+                    up_rows[u].append((v, cost, middle))
+                else:
+                    down_rows[v].append((u, cost, middle))
+        self.ch_rank = rank
+        (
+            self.ch_up_indptr,
+            self.ch_up_indices,
+            self.ch_up_costs,
+            self.ch_up_middle,
+        ) = _flatten_ch_rows(up_rows)
+        (
+            self.ch_down_indptr,
+            self.ch_down_indices,
+            self.ch_down_costs,
+            self.ch_down_middle,
+        ) = _flatten_ch_rows(down_rows)
+        self._ch_up_lists = None
+        self._ch_down_lists = None
+        self._ch_middle_map = None
+
+    def set_ch(
+        self,
+        rank,
+        up_indptr,
+        up_indices,
+        up_costs,
+        up_middle,
+        down_indptr,
+        down_indices,
+        down_costs,
+        down_middle,
+    ):
+        """Install precomputed hierarchy arrays (model load path)."""
+        rank = np.asarray(rank, dtype=np.int32)
+        n = self.num_nodes
+        if rank.shape != (n,):
+            raise ValueError(f"ch_rank must be shaped ({n},), got {rank.shape}")
+        up = _check_ch_csr("ch_up", n, up_indptr, up_indices, up_costs, up_middle)
+        down = _check_ch_csr(
+            "ch_down", n, down_indptr, down_indices, down_costs, down_middle
+        )
+        self.ch_rank = rank
+        (
+            self.ch_up_indptr,
+            self.ch_up_indices,
+            self.ch_up_costs,
+            self.ch_up_middle,
+        ) = up
+        (
+            self.ch_down_indptr,
+            self.ch_down_indices,
+            self.ch_down_costs,
+            self.ch_down_middle,
+        ) = down
+        self._ch_up_lists = None
+        self._ch_down_lists = None
+        self._ch_middle_map = None
+        return self
+
+    def _ch_up(self):
+        """Hot-loop mirror of the upward CSR (lazy, cached)."""
+        rows = self._ch_up_lists
+        if rows is None:
+            with self._lock:
+                rows = self._ch_up_lists
+                if rows is None:
+                    rows = self._neighbour_tuples(
+                        self.ch_up_indptr, self.ch_up_indices, self.ch_up_costs
+                    )
+                    self._ch_up_lists = rows
+        return rows
+
+    def _ch_down(self):
+        """Hot-loop mirror of the downward CSR (lazy, cached)."""
+        rows = self._ch_down_lists
+        if rows is None:
+            with self._lock:
+                rows = self._ch_down_lists
+                if rows is None:
+                    rows = self._neighbour_tuples(
+                        self.ch_down_indptr, self.ch_down_indices, self.ch_down_costs
+                    )
+                    self._ch_down_lists = rows
+        return rows
+
+    def _ch_middles(self):
+        """``(u, v) -> middle node`` over the augmented edge set (lazy).
+
+        Each augmented edge lives in exactly one of the two CSRs (by
+        rank direction), so the union is collision-free.
+        """
+        middles = self._ch_middle_map
+        if middles is None:
+            with self._lock:
+                middles = self._ch_middle_map
+                if middles is None:
+                    middles = {}
+                    indptr = self.ch_up_indptr.tolist()
+                    indices = self.ch_up_indices.tolist()
+                    mids = self.ch_up_middle.tolist()
+                    for u in range(len(indptr) - 1):
+                        for e in range(indptr[u], indptr[u + 1]):
+                            middles[(u, indices[e])] = mids[e]
+                    indptr = self.ch_down_indptr.tolist()
+                    indices = self.ch_down_indices.tolist()
+                    mids = self.ch_down_middle.tolist()
+                    for u in range(len(indptr) - 1):
+                        for e in range(indptr[u], indptr[u + 1]):
+                            # down row u holds edges indices[e] -> u.
+                            middles[(indices[e], u)] = mids[e]
+                    self._ch_middle_map = middles
+        return middles
+
+    def _ch_query(self, si, di):
+        """Bidirectional upward Dijkstra with stall-on-demand.
+
+        Both searches only relax edges toward higher-ranked nodes (the
+        forward one over ``ch_up``, the backward one over ``ch_down``),
+        so search spaces are tiny cones under the hierarchy's hubs.  A
+        settled node is *stalled* -- counted out of ``expanded`` and not
+        relaxed -- when a higher-ranked neighbour already proves its
+        label suboptimal in the full graph.  ``mu`` tracks the best
+        meeting cost over nodes labelled from both sides; a side stops
+        once its queue minimum reaches ``mu`` (labels only grow upward,
+        so nothing cheaper can appear), which keeps the stop exact.
+        """
+        up = self._ch_up()
+        down = self._ch_down()
+        df = {si: 0.0}
+        db = {di: 0.0}
+        pf = {si: -1}
+        pb = {di: -1}
+        donef = set()
+        doneb = set()
+        heapf = [(0.0, si)]
+        heapb = [(0.0, di)]
+        mu = _INF
+        meet = -1
+        expanded = 0
+        while True:
+            fgo = bool(heapf) and heapf[0][0] < mu
+            bgo = bool(heapb) and heapb[0][0] < mu
+            if not fgo and not bgo:
+                break
+            if fgo and (not bgo or heapf[0][0] <= heapb[0][0]):
+                d, u = heappop(heapf)
+                if u in donef:
+                    continue
+                donef.add(u)
+                stalled = False
+                for v, w in down[u]:  # incoming edges from higher ranks
+                    dv = df.get(v)
+                    if dv is not None and dv + w < d:
+                        stalled = True
+                        break
+                if not stalled:
+                    expanded += 1
+                    for v, w in up[u]:
+                        nd = d + w
+                        if nd < df.get(v, _INF):
+                            df[v] = nd
+                            pf[v] = u
+                            heappush(heapf, (nd, v))
+                            dbv = db.get(v)
+                            if dbv is not None and nd + dbv < mu:
+                                mu = nd + dbv
+                                meet = v
+                dbu = db.get(u)
+                if dbu is not None and d + dbu < mu:
+                    mu = d + dbu
+                    meet = u
+            else:
+                d, u = heappop(heapb)
+                if u in doneb:
+                    continue
+                doneb.add(u)
+                stalled = False
+                for v, w in up[u]:  # outgoing edges to higher ranks
+                    dv = db.get(v)
+                    if dv is not None and dv + w < d:
+                        stalled = True
+                        break
+                if not stalled:
+                    expanded += 1
+                    for v, w in down[u]:
+                        nd = d + w
+                        if nd < db.get(v, _INF):
+                            db[v] = nd
+                            pb[v] = u
+                            heappush(heapb, (nd, v))
+                            dfv = df.get(v)
+                            if dfv is not None and dfv + nd < mu:
+                                mu = dfv + nd
+                                meet = v
+                dfu = df.get(u)
+                if dfu is not None and dfu + d < mu:
+                    mu = dfu + d
+                    meet = u
+        if meet < 0:
+            return None
+        # Augmented up-down path: forward parents back to si, backward
+        # parents forward to di, then recursive shortcut unpacking.
+        chain = []
+        u = meet
+        while u != -1:
+            chain.append(u)
+            u = pf[u]
+        chain.reverse()
+        u = pb[meet]
+        while u != -1:
+            chain.append(u)
+            u = pb[u]
+        middles = self._ch_middles()
+        path = [chain[0]]
+        for a, b in zip(chain, chain[1:]):
+            _ch_unpack(a, b, middles, path)
+        return path, mu, expanded
+
+
+# -- CH module helpers -----------------------------------------------------
+
+
+def _flatten_ch_rows(rows):
+    """Pack per-node ``(neighbour, cost, middle)`` rows into CSR arrays.
+
+    Rows are sorted by neighbour index so the layout is deterministic --
+    rebuilding the hierarchy from the same graph reproduces the persisted
+    arrays bit-exactly (the persistence-matrix tests rely on it).
+    """
+    n = len(rows)
+    indptr = np.zeros(n + 1, dtype=np.int64)
+    total = sum(len(row) for row in rows)
+    indices = np.empty(total, dtype=np.int32)
+    costs = np.empty(total, dtype=np.float64)
+    middle = np.empty(total, dtype=np.int32)
+    pos = 0
+    for u, row in enumerate(rows):
+        row.sort()
+        for v, cost, mid in row:
+            indices[pos] = v
+            costs[pos] = cost
+            middle[pos] = mid
+            pos += 1
+        indptr[u + 1] = pos
+    return indptr, indices, costs, middle
+
+
+def _check_ch_csr(name, num_nodes, indptr, indices, costs, middle):
+    """Validate one direction's CH CSR arrays (the ``set_ch`` load path)."""
+    indptr = np.asarray(indptr, dtype=np.int64)
+    indices = np.asarray(indices, dtype=np.int32)
+    costs = np.asarray(costs, dtype=np.float64)
+    middle = np.asarray(middle, dtype=np.int32)
+    if indptr.shape != (num_nodes + 1,):
+        raise ValueError(
+            f"{name}_indptr must be shaped ({num_nodes + 1},), got {indptr.shape}"
+        )
+    edges = int(indptr[-1]) if len(indptr) else 0
+    if not (len(indices) == len(costs) == len(middle) == edges):
+        raise ValueError(
+            f"{name} arrays must all hold {edges} edges, got "
+            f"{len(indices)} / {len(costs)} / {len(middle)}"
+        )
+    return indptr, indices, costs, middle
+
+
+def _ch_unpack(a, b, middles, out):
+    """Expand one augmented edge ``a -> b`` into original nodes.
+
+    Iterative in-order traversal of the shortcut tree (middle-node
+    back-pointers), appending every node after ``a`` to *out* --
+    recursion depth would otherwise track shortcut nesting, which is
+    unbounded in adversarial graphs.
+    """
+    stack = [(a, b)]
+    while stack:
+        u, v = stack.pop()
+        m = middles.get((u, v), -1)
+        if m < 0:
+            out.append(v)
+        else:
+            # Right half pushed first so the left half unpacks first.
+            stack.append((m, v))
+            stack.append((u, m))

@@ -18,8 +18,9 @@ into serving provenance.
 
 A query snaps both gap endpoints to graph nodes (memoized per graph),
 routes over the CSR search engine (``HabitConfig.search`` picks the
-variant: Dijkstra, A*, bidirectional A*, or ALT/landmark A* -- all
-provably equal-cost), projects the cell path to positions (cell centres
+variant: Dijkstra, A*, bidirectional A*, ALT/landmark A*, or the default
+contraction-hierarchy search -- all provably equal-cost), projects the
+cell path to positions (cell centres
 or per-cell medians), simplifies with RDP at ``tolerance_m``, and pins
 the exact endpoints.  The three stages are public --
 :meth:`HabitImputer.snap_endpoints`, :meth:`HabitImputer.route`,
@@ -52,10 +53,14 @@ __all__ = ["HabitConfig", "HabitImputer", "ModelFormatError", "config_hash"]
 #: a clear error instead of being mis-read.  Version 3 added the model
 #: revision and the optional mergeable fit state that powers
 #: :meth:`HabitImputer.update` after a load.  Version 4 added the search
-#: config fields and the optional precomputed ALT landmark tables;
-#: version-3 files still load (landmarks rebuilt on demand).
+#: config fields and the optional precomputed ALT landmark tables.
+#: Version 5 added the optional contraction-hierarchy arrays (node
+#: order + upward/downward shortcut CSRs with middle-node
+#: back-pointers).  Version-3/-4 files still load; whatever
+#: preprocessing their payload lacks (landmarks, hierarchy) is rebuilt
+#: on demand at the first query that needs it.
 MODEL_FORMAT = "habit-npz"
-MODEL_FORMAT_VERSION = 4
+MODEL_FORMAT_VERSION = 5
 MIN_MODEL_FORMAT_VERSION = 3
 
 #: Prefix under which a model's mergeable fit state is stored in the npz.
@@ -129,6 +134,22 @@ def _check_format(data, kind, path):
 #: files and in models whose graphs never computed landmarks.
 _LANDMARK_KEYS = ("landmarks", "landmark_from", "landmark_to")
 
+#: Optional per-graph contraction-hierarchy arrays (format v5+), in the
+#: positional order of :meth:`repro.core.graph.CellGraph.set_ch`; absent
+#: in pre-v5 files and in models whose graphs never built the hierarchy
+#: (it is then rebuilt on demand at the first ``"ch"`` query).
+_CH_KEYS = (
+    "ch_rank",
+    "ch_up_indptr",
+    "ch_up_indices",
+    "ch_up_costs",
+    "ch_up_middle",
+    "ch_down_indptr",
+    "ch_down_indices",
+    "ch_down_costs",
+    "ch_down_middle",
+)
+
 
 def _graph_payload(graph, prefix=""):
     payload = {prefix + key: getattr(graph, key) for key in _GRAPH_KEYS}
@@ -136,6 +157,8 @@ def _graph_payload(graph, prefix=""):
         payload.update(
             {prefix + key: getattr(graph, key) for key in _LANDMARK_KEYS}
         )
+    if graph.has_ch:
+        payload.update({prefix + key: getattr(graph, key) for key in _CH_KEYS})
     return payload
 
 
@@ -146,6 +169,8 @@ def _graph_from_npz(data, path, prefix=""):
     graph = CellGraph(*(data[prefix + key] for key in _GRAPH_KEYS))
     if all(prefix + key in data.files for key in _LANDMARK_KEYS):
         graph.set_landmarks(*(data[prefix + key] for key in _LANDMARK_KEYS))
+    if all(prefix + key in data.files for key in _CH_KEYS):
+        graph.set_ch(*(data[prefix + key] for key in _CH_KEYS))
     return graph
 
 
@@ -242,15 +267,17 @@ class HabitConfig:
       through an arbitrarily distant corridor.
     - ``resample_m``: output point spacing; simplified paths are resampled
       back to AIS-like density so point-to-point metrics stay comparable.
-    - ``search``: query search variant -- ``"alt"`` (default; landmark
-      heuristic, by far the fewest expansions on lane-shaped cell
-      graphs), ``"bidirectional"`` (meet-in-the-middle; no preprocessing,
-      wins when fits are too frequent to amortise landmarks),
+    - ``search``: query search variant -- ``"ch"`` (default; contraction
+      hierarchy precomputed at :meth:`HabitImputer.finalize`, an order
+      of magnitude fewer expansions than ALT on lane-shaped cell
+      graphs), ``"alt"`` (landmark heuristic; cheaper preprocessing),
+      ``"bidirectional"`` (meet-in-the-middle; no preprocessing, wins
+      when fits are too frequent to amortise any preprocessing),
       ``"astar"``, or ``"dijkstra"``.  All return equal-cost paths; they
       differ only in nodes expanded per query.
     - ``num_landmarks``: ALT landmark count, selected at
       :meth:`HabitImputer.finalize` when ``search="alt"`` (or on the
-      first ALT query) and persisted in format-v4 model files.
+      first ALT query) and persisted in format-v4+ model files.
     """
 
     resolution: int = 9
@@ -261,7 +288,7 @@ class HabitConfig:
     snap_max_ring: int = 8
     snap_limit_cells: int = 200
     resample_m: float = 250.0
-    search: str = "alt"
+    search: str = "ch"
     num_landmarks: int = 8
 
 
@@ -330,8 +357,11 @@ class HabitImputer:
         )
         if self.config.search == "alt":
             # Pay landmark preprocessing once at fit time; the tables
-            # ride in the (v4) model payload so loads skip this.
+            # ride in the (v4+) model payload so loads skip this.
             self.graph.ensure_landmarks(self.config.num_landmarks)
+        elif self.config.search == "ch":
+            # Same deal for the contraction hierarchy (v5 payload).
+            self.graph.ensure_ch()
         self._finalized_state = self._state
         return self
 
@@ -424,6 +454,8 @@ class HabitImputer:
         method = method or self.config.search
         if method == "alt":
             self.graph.ensure_landmarks(self.config.num_landmarks)
+        elif method == "ch":
+            self.graph.ensure_ch()
         return self.graph.find_path(src_node, dst_node, method)
 
     def render_path(self, start, end, result):
@@ -512,10 +544,12 @@ class HabitImputer:
         Raises :class:`ModelFormatError` when *path* is not a readable
         habit model (wrong kind, out-of-range version, missing arrays,
         or not an ``.npz`` archive at all).  Format-v3 files load with
-        default search settings and no landmark tables (rebuilt on
-        demand); v4 files restore precomputed landmarks.  Models saved
-        with their fit state come back refreshable; state-less artefacts
-        load fine but reject :meth:`update`.
+        default search settings and no precomputed tables; v4 files
+        restore ALT landmarks; v5 files additionally restore the
+        contraction hierarchy.  Whatever a pre-v5 payload lacks is
+        rebuilt on demand at the first query that needs it.  Models
+        saved with their fit state come back refreshable; state-less
+        artefacts load fine but reject :meth:`update`.
         """
         path = Path(path)
         with _open_npz(path) as data:

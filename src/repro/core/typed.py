@@ -16,7 +16,11 @@ and folds it into per-class :class:`repro.core.statistics.StatisticsState`s
 promoted to its own graph once enough of its traffic has streamed in --
 and :meth:`TypedHabitImputer.update` refreshes all graphs from new trips
 without ever re-reading history.  The per-class states ride inside the
-typed ``.npz`` container, so a loaded typed model keeps refreshing.
+typed ``.npz`` container, so a loaded typed model keeps refreshing --
+and so does every class graph's precomputed search state (ALT landmark
+tables and, since format v5, the contraction hierarchy), so a loaded
+typed model answers its first ``"ch"`` query without paying per-class
+preprocessing.
 """
 
 from pathlib import Path

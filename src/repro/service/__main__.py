@@ -21,7 +21,7 @@ Every flag is documented in ``--help`` and, with operational context, in
 import argparse
 
 from repro.ais.reader import DEFAULT_CHUNK_ROWS
-from repro.core import HabitConfig
+from repro.core import SEARCH_METHODS, HabitConfig
 from repro.service.http import make_server
 from repro.service.registry import ModelRegistry
 
@@ -160,6 +160,22 @@ def _build_parser():
         default=default.resample_m,
         help="output point spacing in metres",
     )
+    model.add_argument(
+        "--search",
+        choices=SEARCH_METHODS,
+        default=default.search,
+        help=(
+            "query search variant (all equal-cost): 'ch' (contraction "
+            "hierarchy, precomputed at fit time; fewest expansions), 'alt' "
+            "(landmark heuristic), 'bidirectional', 'astar', 'dijkstra'"
+        ),
+    )
+    model.add_argument(
+        "--num-landmarks",
+        type=int,
+        default=default.num_landmarks,
+        help="ALT landmark count (used when --search alt)",
+    )
     return parser
 
 
@@ -170,6 +186,8 @@ def _config_from_args(args):
         projection=args.projection,
         edge_weight=args.edge_weight,
         resample_m=args.resample_m,
+        search=args.search,
+        num_landmarks=args.num_landmarks,
     )
 
 

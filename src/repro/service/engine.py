@@ -32,6 +32,10 @@ every result's provenance):
 On top of the model cache sits a **snap-and-path LRU cache**: hub-to-hub
 queries from large fleets mostly repeat, and a route depends only on the
 graph and the *snapped* endpoints -- never on the raw query positions.
+(A cache miss pays one graph search -- by default the
+contraction-hierarchy variant, whose upward-only bidirectional query
+settles an order of magnitude fewer nodes than the ALT heuristic; the
+per-route ``expanded`` count rides into provenance either way.)
 Each request snaps its endpoints (memoized per graph), then looks up the
 search result under ``(model id, class tag, revision, snapped src,
 snapped dst)``; a hit renders the cached route without touching the

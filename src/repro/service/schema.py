@@ -65,7 +65,10 @@ class Provenance:
     -- snap fallback or cache disabled).  ``expanded`` is the number of
     nodes the search that produced the route settled (0 for straight
     lines; preserved on cache hits even though the heap wasn't touched),
-    so heuristic quality is observable per served response.  ``revision``
+    so search quality is observable per served response -- with the
+    default contraction-hierarchy search (``HabitConfig.search="ch"``)
+    expect an order of magnitude fewer than the ALT landmark search
+    reported.  ``revision``
     is the model's incremental-refresh counter (1 until the first
     :meth:`repro.service.ModelRegistry.refresh`), so clients can tell
     which vintage of the model answered.  ``executor`` records which

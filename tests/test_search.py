@@ -1,8 +1,9 @@
-"""CSR search engine: variant equivalence, landmarks, v3/v4 models, snaps."""
+"""CSR search engine: variant equivalence, landmarks, v3-v5 models, snaps."""
 
 import numpy as np
 import pytest
 
+from graphgen import uniform_graph as _random_graph
 from repro.core import SEARCH_METHODS, CellGraph, HabitConfig, HabitImputer
 from repro.hexgrid import (
     cell_axial_array,
@@ -10,25 +11,6 @@ from repro.hexgrid import (
     grid_distance_array,
     latlng_to_cell_array,
 )
-
-
-def _random_graph(rng, num_nodes=48, num_edges=160, spread=0.5):
-    """A random hex-cell graph honouring the cost >= grid-span invariant."""
-    cells = np.array([], dtype=np.int64)
-    while len(cells) < num_nodes:
-        lats = rng.uniform(55.0, 55.0 + spread, num_nodes * 3)
-        lngs = rng.uniform(10.0, 10.0 + spread, num_nodes * 3)
-        cells = np.unique(latlng_to_cell_array(lats, lngs, 9))
-    cells = rng.permutation(cells)[:num_nodes]
-    lats, lngs = cell_to_latlng_array(cells)
-    src_idx = rng.integers(0, num_nodes, num_edges)
-    dst_idx = rng.integers(0, num_nodes, num_edges)
-    keep = src_idx != dst_idx
-    src, dst = cells[src_idx[keep]], cells[dst_idx[keep]]
-    spans = grid_distance_array(src, dst)
-    costs = spans * rng.uniform(1.0, 2.0, len(src))
-    counts = rng.integers(1, 50, len(src))
-    return CellGraph(cells, lats, lngs, src, dst, costs, counts)
 
 
 def _path_cost(graph, result):
@@ -40,7 +22,7 @@ def _path_cost(graph, result):
 
 
 def test_all_variants_equal_cost_on_random_graphs():
-    """astar / dijkstra / bidirectional / ALT agree for any admissible graph."""
+    """astar / dijkstra / bidirectional / ALT / CH agree on any admissible graph."""
     rng = np.random.default_rng(1234)
     for _ in range(8):
         graph = _random_graph(rng)
@@ -150,7 +132,7 @@ def test_snap_memoization_and_scalar_fallback(tiny_kiel):
     assert first == brute
 
 
-# -- landmarks & model format v3/v4 ---------------------------------------
+# -- landmarks & model format v3-v5 ---------------------------------------
 
 
 @pytest.fixture(scope="module")
@@ -187,15 +169,15 @@ def test_v4_round_trip_preserves_landmarks(alt_model, tiny_kiel, tmp_path):
     assert a.method == b.method == "alt"
 
 
-def _as_v3_file(v4_path, out_path):
-    """Rewrite a saved v4 model as its v3 equivalent."""
+def _as_v3_file(saved_path, out_path):
+    """Rewrite a saved (v5) model as its v3 equivalent."""
     import repro.core.habit as habit_mod
 
-    with np.load(v4_path) as data:
+    with np.load(saved_path) as data:
         payload = {key: data[key] for key in data.files}
     payload["format"] = np.array([habit_mod.MODEL_FORMAT, "3"])
     payload["config"] = payload["config"][:8]  # v3 configs had 8 fields
-    for key in habit_mod._LANDMARK_KEYS:
+    for key in habit_mod._LANDMARK_KEYS + habit_mod._CH_KEYS:
         payload.pop(key, None)
     np.savez(out_path, **payload)
     return out_path
@@ -203,7 +185,7 @@ def _as_v3_file(v4_path, out_path):
 
 def test_v3_files_still_load_and_rebuild_landmarks(alt_model, tiny_kiel, tmp_path):
     gap = tiny_kiel.gaps(3600.0)[0]
-    v3 = _as_v3_file(alt_model.save(tmp_path / "v4.npz"), tmp_path / "v3.npz")
+    v3 = _as_v3_file(alt_model.save(tmp_path / "v5.npz"), tmp_path / "v3.npz")
     restored = HabitImputer.load(v3)
     # v3 configs fall back to current defaults for the new fields.
     assert restored.config.search == HabitConfig().search
@@ -216,13 +198,13 @@ def test_v3_files_still_load_and_rebuild_landmarks(alt_model, tiny_kiel, tmp_pat
     assert restored.revision == 2
 
 
-def test_saved_format_version_is_4(alt_model, tmp_path):
+def test_saved_format_version_is_5(alt_model, tmp_path):
     import repro.core.habit as habit_mod
 
     path = alt_model.save(tmp_path / "m.npz")
     with np.load(path) as data:
         tag = data["format"]
-        assert str(tag[0]) == habit_mod.MODEL_FORMAT and str(tag[1]) == "4"
+        assert str(tag[0]) == habit_mod.MODEL_FORMAT and str(tag[1]) == "5"
         assert len(data["config"]) == 10
 
 

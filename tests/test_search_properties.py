@@ -1,0 +1,107 @@
+"""Randomized equal-cost property suite for every search variant.
+
+The contract under test: all members of ``SEARCH_METHODS`` are *provably
+equal-cost* -- on any graph whose edge costs respect the grid-span
+invariant, every variant must return a path of exactly Dijkstra's cost
+(to float tolerance), a path that is valid under the adjacency view, and
+the same unreachable verdict.  This suite hammers that contract with
+hundreds of seeded random graphs across adversarial topologies (see
+``graphgen.TOPOLOGIES``) so a regression in any variant -- most likely
+the contraction-hierarchy build, the newest and most intricate -- fails
+loudly and reproducibly.
+
+Each failure message carries the topology, draw seed and endpoints, so
+any counterexample replays with a two-line snippet.
+"""
+
+import numpy as np
+import pytest
+
+from graphgen import TOPOLOGIES, random_graph
+from repro.core import GOAL_DIRECTED_METHODS, SEARCH_METHODS
+
+#: (topology, number of graph draws) -- 220 graphs in total.
+_PLAN = (
+    ("uniform", 80),
+    ("lane", 80),
+    ("multi_component", 40),
+    ("single_node", 10),
+    ("no_edges", 10),
+)
+_QUERIES_PER_GRAPH = 6
+_BASE_SEED = 977
+
+
+def _path_cost(graph, result):
+    """Recompute a result's cost from the adjacency view (oracle check)."""
+    total = 0.0
+    for a, b in zip(result.cells, result.cells[1:]):
+        hops = [c for t, c, _ in graph.adjacency[a] if t == b]
+        assert hops, f"path uses non-edge {a}->{b}"
+        total += min(hops)
+    return total
+
+
+def _check_query(graph, src, dst, context):
+    results = {m: graph.find_path(src, dst, m) for m in SEARCH_METHODS}
+    oracle = results["dijkstra"]
+    if oracle is None:
+        for method, result in results.items():
+            assert result is None, f"{method} found a path Dijkstra did not ({context})"
+        return
+    for method, result in results.items():
+        where = f"{method} ({context})"
+        assert result is not None, f"{where}: unreachable verdict disagrees"
+        assert result.cost == pytest.approx(oracle.cost, rel=1e-9), where
+        assert result.cells[0] == src and result.cells[-1] == dst, where
+        assert _path_cost(graph, result) == pytest.approx(result.cost, rel=1e-9), where
+        assert result.method == method and result.expanded >= 0, where
+    for method in GOAL_DIRECTED_METHODS:
+        assert results[method].expanded <= oracle.expanded, (
+            f"{method} expanded more than dijkstra ({context})"
+        )
+
+
+@pytest.mark.parametrize(
+    "topology,draws", _PLAN, ids=[topology for topology, _ in _PLAN]
+)
+def test_variants_agree_across_random_topologies(topology, draws):
+    for draw in range(draws):
+        seed = _BASE_SEED + draw
+        rng = np.random.default_rng(seed)
+        graph = random_graph(rng, topology)
+        nodes = graph.cells
+        if len(nodes) == 1:
+            pairs = [(int(nodes[0]), int(nodes[0]))]
+        else:
+            pairs = [
+                tuple(int(c) for c in rng.choice(nodes, 2))
+                for _ in range(_QUERIES_PER_GRAPH)
+            ]
+        for src, dst in pairs:
+            _check_query(
+                graph, src, dst, f"topology={topology} seed={seed} {src}->{dst}"
+            )
+
+
+def test_plan_covers_every_topology_with_enough_graphs():
+    """The sweep stays honest: >= 200 graphs, no topology left out."""
+    assert {topology for topology, _ in _PLAN} == set(TOPOLOGIES)
+    assert sum(draws for _, draws in _PLAN) >= 200
+
+
+def test_trivial_source_equals_destination_on_every_topology():
+    for topology in TOPOLOGIES:
+        graph = random_graph(np.random.default_rng(5), topology)
+        cell = int(graph.cells[0])
+        for method in SEARCH_METHODS:
+            result = graph.find_path(cell, cell, method)
+            assert result.cells == (cell,), (topology, method)
+            assert result.cost == 0.0 and result.expanded == 0, (topology, method)
+
+
+def test_no_edge_graphs_are_unreachable_everywhere():
+    graph = random_graph(np.random.default_rng(11), "no_edges")
+    src, dst = (int(c) for c in graph.cells[:2])
+    for method in SEARCH_METHODS:
+        assert graph.find_path(src, dst, method) is None, method
