@@ -6,14 +6,26 @@ callback); disk load resolves a published model from ``.npz``; warm
 serves from the in-memory LRU.  The reproduction target is the serving
 story: warm-cache throughput must be at least 10x cold start, which is
 what makes fit-once/serve-many worth a registry at all.
+
+Two of the tests below are the service-latency trajectory: the p50/p95/
+p99 quantiles of the ``repro_impute_seconds`` request-latency histogram
+across (thread | process executor) x (cold | warm path cache) are
+written to ``BENCH_service.json`` (committed from a representative run,
+uploaded by CI), and the metrics layer itself must cost < 5 % on the
+warm path.  Both run under ``--benchmark-disable`` -- they measure
+through the metrics histograms, not pytest-benchmark timers.
 """
 
 import itertools
+import json
+import platform
 import time
+from pathlib import Path
 
 import pytest
 
 from repro.core import HabitImputer
+from repro.obs import METRICS, MetricsRegistry, diff_snapshots
 from repro.service import BatchImputationEngine, GapRequest, ModelRegistry
 
 
@@ -147,3 +159,142 @@ def test_warm_throughput_at_least_10x_cold(train_fitter, habit_r9, kiel_gaps, tm
         f"warm {warm_rps:.1f} req/s ({warm_rps / cold_rps:.0f}x)"
     )
     assert warm_rps >= 10.0 * cold_rps
+
+
+def _impute_quantiles(delta, executor):
+    """p50/p95/p99 (in us) of ``repro_impute_seconds`` from a snapshot delta.
+
+    The delta is absorbed into a scratch registry -- the same merge the
+    parent applies to process-pool worker deltas -- so the quantiles
+    cover exactly the requests between the two snapshots, regardless of
+    what earlier tests left in the global registry.
+    """
+    scratch = MetricsRegistry()
+    scratch.absorb(delta)
+    hist = scratch.get("repro_impute_seconds")
+    summary = hist.summary((executor,))
+    return {
+        "requests": summary["count"],
+        "p50_us": round(summary["p50"] * 1e6, 1),
+        "p95_us": round(summary["p95"] * 1e6, 1),
+        "p99_us": round(summary["p99"] * 1e6, 1),
+    }
+
+
+def test_latency_quantile_artifact(warm_engine, kiel_gaps):
+    """Write BENCH_service.json from the request-latency histogram.
+
+    Four scenarios -- (thread | process executor) x (cold | warm path
+    cache) -- each read back as p50/p95/p99 of ``repro_impute_seconds``.
+    Runs under --benchmark-disable (CI's smoke), so the artifact is
+    written directly rather than through the conftest group emitter.
+    """
+    thread_engine, config = warm_engine
+    requests = _requests(kiel_gaps, 64)
+    scenarios = {}
+
+    # Thread, cold path cache: a fresh engine per round pays the full
+    # snap + search per request (model stays warm in the registry LRU).
+    before = METRICS.snapshot()
+    for _ in range(3):
+        BatchImputationEngine(thread_engine.registry, max_workers=4).run(
+            requests, config
+        )
+    delta = diff_snapshots(METRICS.snapshot(), before)
+    scenarios["thread_cold_cache"] = _impute_quantiles(delta, "thread")
+
+    # Thread, warm path cache.
+    thread_engine.run(requests, config)  # prime
+    before = METRICS.snapshot()
+    for _ in range(5):
+        thread_engine.run(requests, config)
+    delta = diff_snapshots(METRICS.snapshot(), before)
+    scenarios["thread_warm_cache"] = _impute_quantiles(delta, "thread")
+
+    with BatchImputationEngine(
+        thread_engine.registry, max_workers=4, executor="process"
+    ) as engine:
+        # Process, cold: first batch pays pool spin-up, per-worker model
+        # load, and cold path caches; the timings arrive in the parent
+        # via the worker metric deltas.
+        before = METRICS.snapshot()
+        engine.run(requests, config)
+        delta = diff_snapshots(METRICS.snapshot(), before)
+        scenarios["process_cold_cache"] = _impute_quantiles(delta, "process")
+
+        # Process, warm: same pool, warm worker caches.
+        before = METRICS.snapshot()
+        for _ in range(5):
+            engine.run(requests, config)
+        delta = diff_snapshots(METRICS.snapshot(), before)
+        scenarios["process_warm_cache"] = _impute_quantiles(delta, "process")
+
+    for name, stats in scenarios.items():
+        assert stats["requests"] > 0, name
+        assert stats["p50_us"] <= stats["p95_us"] <= stats["p99_us"], name
+    # Warm-vs-cold p50s can land in the same log-spaced bucket, so the
+    # robust ordering claim is median-vs-tail, not median-vs-median.
+    assert scenarios["thread_warm_cache"]["p50_us"] < (
+        scenarios["thread_cold_cache"]["p95_us"]
+    )
+
+    payload = {
+        "machine": platform.machine(),
+        "python": platform.python_version(),
+        "batch_requests": 64,
+        "source": "repro_impute_seconds histogram (snapshot deltas)",
+        "scenarios": scenarios,
+    }
+    out = Path(__file__).parent / "BENCH_service.json"
+    out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"\nservice latency quantiles -> {out}")
+    for name in sorted(scenarios):
+        s = scenarios[name]
+        print(
+            f"  {name}: p50 {s['p50_us']:.0f}us  p95 {s['p95_us']:.0f}us  "
+            f"p99 {s['p99_us']:.0f}us  ({s['requests']} requests)"
+        )
+
+
+def test_metrics_overhead_under_5_percent_warm_path(warm_engine, kiel_gaps):
+    """Acceptance: metrics collection costs < 5% on the warm serving path.
+
+    Measured as min-of-samples over repeated warm 64-gap batches with
+    the process-wide switch on vs off (min is robust to scheduler
+    noise); up to three attempts before failing, since a single CI
+    machine hiccup should not flunk a 5% gate.
+    """
+    engine, config = warm_engine
+    requests = _requests(kiel_gaps, 64)
+    engine.run(requests, config)  # prime
+
+    def best_of(samples, rounds):
+        times = []
+        for _ in range(samples):
+            started = time.perf_counter()
+            for _ in range(rounds):
+                engine.run(requests, config)
+            times.append((time.perf_counter() - started) / rounds)
+        return min(times)
+
+    was_enabled = METRICS.enabled
+    overhead = None
+    try:
+        for _ in range(3):
+            METRICS.set_enabled(True)
+            best_of(1, 2)  # warm-up
+            with_metrics = best_of(6, 3)
+            METRICS.set_enabled(False)
+            best_of(1, 2)
+            without_metrics = best_of(6, 3)
+            overhead = with_metrics / without_metrics - 1.0
+            if overhead < 0.05:
+                break
+    finally:
+        METRICS.set_enabled(was_enabled)
+    print(
+        f"\nwarm-path metrics overhead: {overhead * 100:+.2f}% "
+        f"(on {with_metrics * 1e3:.2f}ms vs off {without_metrics * 1e3:.2f}ms "
+        f"per 64-gap batch)"
+    )
+    assert overhead < 0.05

@@ -48,6 +48,7 @@ Two weight schemes are supported:
 import threading
 from dataclasses import dataclass, field
 from heapq import heappop, heappush
+from time import perf_counter
 
 import numpy as np
 
@@ -57,6 +58,7 @@ from repro.hexgrid import (
     grid_distance_array,
     ring,
 )
+from repro.obs import COUNT_BUCKETS, METRICS
 
 __all__ = ["CellGraph", "SearchResult", "SEARCH_METHODS", "GOAL_DIRECTED_METHODS"]
 
@@ -70,6 +72,23 @@ SEARCH_METHODS = ("dijkstra", "astar", "bidirectional", "alt", "ch")
 GOAL_DIRECTED_METHODS = ("astar", "alt")
 
 _INF = float("inf")
+
+_SEARCH_SECONDS = METRICS.histogram(
+    "repro_search_seconds",
+    "Graph search latency per query in seconds, by search variant.",
+    ("method",),
+)
+_SEARCH_EXPANDED = METRICS.histogram(
+    "repro_search_expanded",
+    "Nodes settled per search query, by search variant.",
+    ("method",),
+    buckets=COUNT_BUCKETS,
+)
+_GRAPH_BUILD_SECONDS = METRICS.histogram(
+    "repro_graph_build_seconds",
+    "Search-preprocessing build duration, by stage (landmarks, ch).",
+    ("stage",),
+)
 
 #: Bound on the per-graph snap memo (the serve path re-snaps identical
 #: endpoints constantly; distinct endpoints are bounded by traffic area).
@@ -445,6 +464,14 @@ class CellGraph:
             raise ValueError(
                 f"unknown search method {method!r}; expected one of {SEARCH_METHODS}"
             )
+        started = perf_counter()
+        result = self._find_path(src, dst, method)
+        _SEARCH_SECONDS.observe(perf_counter() - started, (method,))
+        if result is not None:
+            _SEARCH_EXPANDED.observe(result.expanded, (method,))
+        return result
+
+    def _find_path(self, src, dst, method):
         si = self.node_index(src)
         di = self.node_index(dst)
         if si < 0 or di < 0:
@@ -616,7 +643,8 @@ class CellGraph:
         if self.landmarks is None:
             with self._lock:
                 if self.landmarks is None:
-                    self._compute_landmarks_locked(k)
+                    with _GRAPH_BUILD_SECONDS.time(("landmarks",)):
+                        self._compute_landmarks_locked(k)
         return self
 
     def compute_landmarks(self, k=8):
@@ -629,7 +657,8 @@ class CellGraph:
         Dijkstra.  Persisted with format-v4 models so loading skips this.
         """
         with self._lock:
-            self._compute_landmarks_locked(k)
+            with _GRAPH_BUILD_SECONDS.time(("landmarks",)):
+                self._compute_landmarks_locked(k)
         return self
 
     def _compute_landmarks_locked(self, k):
@@ -753,7 +782,8 @@ class CellGraph:
         if self.ch_rank is None:
             with self._lock:
                 if self.ch_rank is None:
-                    self._compute_ch_locked()
+                    with _GRAPH_BUILD_SECONDS.time(("ch",)):
+                        self._compute_ch_locked()
         return self
 
     def compute_ch(self):
@@ -775,7 +805,8 @@ class CellGraph:
         this pass.
         """
         with self._lock:
-            self._compute_ch_locked()
+            with _GRAPH_BUILD_SECONDS.time(("ch",)):
+                self._compute_ch_locked()
         return self
 
     def _compute_ch_locked(self):

@@ -45,6 +45,14 @@ from repro.core.statistics import StatisticsState, partial_statistics
 from repro.geo.proj import latlng_to_xy_m
 from repro.geo.simplify import rdp_keep_indices
 from repro.hexgrid import grid_distance, latlng_to_cell
+from repro.obs import METRICS
+
+_FIT_SECONDS = METRICS.histogram(
+    "repro_fit_seconds",
+    "Fit-pipeline stage duration in seconds (partial fold, state merge, "
+    "graph finalize including search preprocessing).",
+    ("stage",),
+)
 
 __all__ = ["HabitConfig", "HabitImputer", "ModelFormatError", "config_hash"]
 
@@ -319,11 +327,12 @@ class HabitImputer:
         is in.  Chunks must hold whole trips (see
         :mod:`repro.core.statistics`).  Returns self.
         """
-        state = partial_statistics(trips, self.config)
-        if self._state is None:
-            self._state = state
-        else:
-            self._state = StatisticsState.merged([self._state, state])
+        with _FIT_SECONDS.time(("partial",)):
+            state = partial_statistics(trips, self.config)
+            if self._state is None:
+                self._state = state
+            else:
+                self._state = StatisticsState.merged([self._state, state])
         return self
 
     def merge(self, other):
@@ -336,33 +345,35 @@ class HabitImputer:
         state = other._state if isinstance(other, HabitImputer) else other
         if state is None:
             raise ValueError("cannot merge an imputer with no fit state")
-        if self._state is None:
-            self._state = state
-        else:
-            self._state = StatisticsState.merged([self._state, state])
+        with _FIT_SECONDS.time(("merge",)):
+            if self._state is None:
+                self._state = state
+            else:
+                self._state = StatisticsState.merged([self._state, state])
         return self
 
     def finalize(self):
         """Freeze the accumulated state into statistics + cell graph."""
         if self._state is None:
             raise RuntimeError("HabitImputer.finalize called with no fit state")
-        cell_stats, transition_stats = self._state.finalize()
-        self.cell_stats = cell_stats
-        self.transition_stats = transition_stats
-        self.graph = CellGraph.from_statistics(
-            cell_stats,
-            transition_stats,
-            projection=self.config.projection,
-            edge_weight=self.config.edge_weight,
-        )
-        if self.config.search == "alt":
-            # Pay landmark preprocessing once at fit time; the tables
-            # ride in the (v4+) model payload so loads skip this.
-            self.graph.ensure_landmarks(self.config.num_landmarks)
-        elif self.config.search == "ch":
-            # Same deal for the contraction hierarchy (v5 payload).
-            self.graph.ensure_ch()
-        self._finalized_state = self._state
+        with _FIT_SECONDS.time(("finalize",)):
+            cell_stats, transition_stats = self._state.finalize()
+            self.cell_stats = cell_stats
+            self.transition_stats = transition_stats
+            self.graph = CellGraph.from_statistics(
+                cell_stats,
+                transition_stats,
+                projection=self.config.projection,
+                edge_weight=self.config.edge_weight,
+            )
+            if self.config.search == "alt":
+                # Pay landmark preprocessing once at fit time; the tables
+                # ride in the (v4+) model payload so loads skip this.
+                self.graph.ensure_landmarks(self.config.num_landmarks)
+            elif self.config.search == "ch":
+                # Same deal for the contraction hierarchy (v5 payload).
+                self.graph.ensure_ch()
+            self._finalized_state = self._state
         return self
 
     def fit_from_trips(self, trips):

@@ -1,0 +1,533 @@
+"""``repro.obs``: a dependency-free, mergeable metrics core.
+
+Three metric kinds -- labeled :class:`Counter`, :class:`Gauge`, and
+:class:`Histogram` (fixed log-spaced buckets) -- live in a
+:class:`MetricsRegistry`.  The module-level :data:`METRICS` registry is
+the process-wide default every instrumented layer (search engine, fit
+pipeline, model registry, batch engine, follow daemon, HTTP transport)
+declares its metrics against at import time, so a scrape always renders
+the full catalogue even before the first observation.
+
+The design contract is the same one :mod:`repro.minidb.partial` gives
+the fit pipeline: **snapshots are mergeable states**.
+:meth:`MetricsRegistry.snapshot` captures every series as plain
+picklable dicts, :func:`merge_snapshots` folds two snapshots into one
+-- bit-exactly for counters and histogram bucket counts (integer
+addition is associative and commutative, so merge order never changes a
+count) -- and :meth:`MetricsRegistry.absorb` folds a snapshot (or a
+:func:`diff_snapshots` delta) back into a live registry.  That is what
+lets process-pool workers piggyback their metric deltas on batch
+results: each worker diffs its registry against the last shipped
+snapshot, the parent absorbs the delta, and worker-side search and
+path-cache activity becomes visible in the parent's ``/metrics`` scrape
+instead of vanishing into the pool.
+
+Gauges are process-local by design: a gauge is a statement about *this*
+process ("models loaded here"), so :func:`diff_snapshots` drops them
+and workers never ship theirs.  :func:`merge_snapshots` sums gauges
+(useful when aggregating sibling daemons); absorb follows the same
+rule.
+
+Rendering: :meth:`MetricsRegistry.render_prometheus` emits the
+Prometheus text exposition format (version 0.0.4) served by
+``GET /metrics``; :meth:`MetricsRegistry.render_json` is the same data
+as JSON for tests and tools.  Disable collection wholesale with
+:meth:`MetricsRegistry.set_enabled` (the CLI's ``--no-metrics``): every
+observation becomes a cheap early return.
+"""
+
+import threading
+import time
+from bisect import bisect_left
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "LATENCY_BUCKETS",
+    "COUNT_BUCKETS",
+    "METRICS",
+    "MetricsRegistry",
+    "diff_snapshots",
+    "merge_snapshots",
+]
+
+
+def _log_spaced(lo_decade, hi_decade, per_decade=4):
+    """Fixed log-spaced bucket edges, ``per_decade`` per power of ten."""
+    return tuple(
+        round(10.0 ** (e / per_decade), 12)
+        for e in range(lo_decade * per_decade, hi_decade * per_decade + 1)
+    )
+
+
+#: Default latency bucket edges in seconds: 10 us .. 10 s, four per
+#: decade.  Wide enough for a warm cache hit (~tens of us) and a cold
+#: fit (~seconds) to land in distinct, resolvable buckets.
+LATENCY_BUCKETS = _log_spaced(-5, 1)
+
+#: Bucket edges for event counts (e.g. nodes expanded per search):
+#: powers of two, 1 .. 65536.
+COUNT_BUCKETS = tuple(float(1 << i) for i in range(17))
+
+
+class _Metric:
+    """Shared plumbing: a named, labeled series map inside a registry."""
+
+    kind = None
+
+    def __init__(self, registry, name, help_text, label_names):
+        self._registry = registry
+        self.name = name
+        self.help = help_text
+        self.label_names = tuple(label_names)
+        self._series = {}  # labels tuple -> value (kind-specific)
+
+    def _check_labels(self, labels):
+        if len(labels) != len(self.label_names):
+            raise ValueError(
+                f"{self.name}: expected {len(self.label_names)} label values "
+                f"{self.label_names}, got {labels!r}"
+            )
+        return tuple(str(v) for v in labels)
+
+
+class Counter(_Metric):
+    """A monotone sum.  Integer increments stay integers, so merged
+    snapshots reproduce the counts bit-exactly."""
+
+    kind = "counter"
+
+    def inc(self, amount=1, labels=()):
+        registry = self._registry
+        if not registry.enabled:
+            return
+        key = self._check_labels(labels)
+        with registry._lock:
+            self._series[key] = self._series.get(key, 0) + amount
+
+    def value(self, labels=()):
+        key = self._check_labels(labels)
+        with self._registry._lock:
+            return self._series.get(key, 0)
+
+
+class Gauge(_Metric):
+    """A point-in-time value (process-local; never shipped in deltas)."""
+
+    kind = "gauge"
+
+    def set(self, value, labels=()):
+        registry = self._registry
+        if not registry.enabled:
+            return
+        key = self._check_labels(labels)
+        with registry._lock:
+            self._series[key] = value
+
+    def value(self, labels=()):
+        key = self._check_labels(labels)
+        with self._registry._lock:
+            return self._series.get(key, 0)
+
+
+class _Timer:
+    """Context manager observing its wall-clock span into a histogram."""
+
+    __slots__ = ("_histogram", "_labels", "_started")
+
+    def __init__(self, histogram, labels):
+        self._histogram = histogram
+        self._labels = labels
+
+    def __enter__(self):
+        self._started = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info):
+        self._histogram.observe(time.perf_counter() - self._started, self._labels)
+
+
+class Histogram(_Metric):
+    """Cumulative-bucket histogram over fixed edges.
+
+    Each series is ``[per-bucket counts (last = +Inf), total count,
+    sum]``; bucket counts are integers, so merges are bit-exact like
+    counters.  ``observe`` costs one bisect plus three increments.
+    """
+
+    kind = "histogram"
+
+    def __init__(self, registry, name, help_text, label_names, buckets):
+        super().__init__(registry, name, help_text, label_names)
+        self.buckets = tuple(float(b) for b in buckets)
+        if list(self.buckets) != sorted(set(self.buckets)):
+            raise ValueError(f"{name}: bucket edges must be strictly increasing")
+
+    def observe(self, value, labels=()):
+        registry = self._registry
+        if not registry.enabled:
+            return
+        key = self._check_labels(labels)
+        slot = bisect_left(self.buckets, value)
+        with registry._lock:
+            series = self._series.get(key)
+            if series is None:
+                series = [[0] * (len(self.buckets) + 1), 0, 0.0]
+                self._series[key] = series
+            series[0][slot] += 1
+            series[1] += 1
+            series[2] += value
+
+    def time(self, labels=()):
+        """``with histogram.time(labels): ...`` observes the span."""
+        return _Timer(self, labels)
+
+    def summary(self, labels=()):
+        """``{count, sum, p50, p95, p99}`` for one series (estimates)."""
+        return {
+            "count": self.count(labels),
+            "sum": self.sum(labels),
+            "p50": self.quantile(0.50, labels),
+            "p95": self.quantile(0.95, labels),
+            "p99": self.quantile(0.99, labels),
+        }
+
+    def count(self, labels=()):
+        key = self._check_labels(labels)
+        with self._registry._lock:
+            series = self._series.get(key)
+            return 0 if series is None else series[1]
+
+    def sum(self, labels=()):
+        key = self._check_labels(labels)
+        with self._registry._lock:
+            series = self._series.get(key)
+            return 0.0 if series is None else series[2]
+
+    def quantile(self, q, labels=()):
+        """Estimated q-quantile by linear interpolation within buckets.
+
+        Returns ``None`` for an empty series; observations beyond the
+        last finite edge report that edge (the estimate saturates).
+        """
+        key = self._check_labels(labels)
+        with self._registry._lock:
+            series = self._series.get(key)
+            if series is None or series[1] == 0:
+                return None
+            counts = list(series[0])
+            total = series[1]
+        rank = q * total
+        cumulative = 0
+        for slot, count in enumerate(counts):
+            if count == 0:
+                continue
+            if cumulative + count >= rank:
+                if slot >= len(self.buckets):
+                    return self.buckets[-1]
+                lo = self.buckets[slot - 1] if slot > 0 else 0.0
+                hi = self.buckets[slot]
+                fraction = (rank - cumulative) / count
+                return lo + (hi - lo) * min(max(fraction, 0.0), 1.0)
+            cumulative += count
+        return self.buckets[-1]
+
+
+class MetricsRegistry:
+    """A set of named metrics with mergeable snapshots.
+
+    Declaring a metric is idempotent: re-declaring the same name with
+    the same kind/labels returns the existing object (so every module
+    can declare at import time without ordering constraints); a
+    conflicting re-declaration raises.
+    """
+
+    def __init__(self, enabled=True):
+        self.enabled = bool(enabled)
+        self._lock = threading.Lock()
+        self._metrics = {}
+
+    def set_enabled(self, enabled):
+        """Turn collection on/off (observations become no-ops when off)."""
+        self.enabled = bool(enabled)
+        return self
+
+    # -- declaration -------------------------------------------------------
+
+    def _declare(self, cls, name, help_text, label_names, **kwargs):
+        with self._lock:
+            existing = self._metrics.get(name)
+            if existing is not None:
+                if type(existing) is not cls or existing.label_names != tuple(
+                    label_names
+                ):
+                    raise ValueError(
+                        f"metric {name!r} already declared as "
+                        f"{existing.kind}{existing.label_names}"
+                    )
+                return existing
+            metric = cls(self, name, help_text, label_names, **kwargs)
+            self._metrics[name] = metric
+            return metric
+
+    def counter(self, name, help_text="", labels=()):
+        return self._declare(Counter, name, help_text, labels)
+
+    def gauge(self, name, help_text="", labels=()):
+        return self._declare(Gauge, name, help_text, labels)
+
+    def histogram(self, name, help_text="", labels=(), buckets=LATENCY_BUCKETS):
+        return self._declare(Histogram, name, help_text, labels, buckets=buckets)
+
+    def get(self, name):
+        """The declared metric object, or ``None``."""
+        with self._lock:
+            return self._metrics.get(name)
+
+    # -- snapshots ---------------------------------------------------------
+
+    def snapshot(self):
+        """Every series as plain picklable dicts (a mergeable state)."""
+        with self._lock:
+            out = {}
+            for name, metric in self._metrics.items():
+                if metric.kind == "histogram":
+                    series = {
+                        key: {"buckets": list(value[0]), "count": value[1], "sum": value[2]}
+                        for key, value in metric._series.items()
+                    }
+                else:
+                    series = dict(metric._series)
+                entry = {
+                    "kind": metric.kind,
+                    "help": metric.help,
+                    "label_names": list(metric.label_names),
+                    "series": series,
+                }
+                if metric.kind == "histogram":
+                    entry["buckets"] = list(metric.buckets)
+                out[name] = entry
+            return out
+
+    def absorb(self, snapshot):
+        """Fold a snapshot (or a delta) into this registry's counts.
+
+        Unknown metrics are declared from the snapshot's metadata, so a
+        parent can absorb series its own process never touched.  Gauges
+        are skipped: they describe the donor process, not this one.
+        """
+        if not snapshot:
+            return self
+        for name, entry in snapshot.items():
+            kind = entry["kind"]
+            if kind == "gauge":
+                continue
+            if kind == "counter":
+                metric = self.counter(name, entry["help"], entry["label_names"])
+                with self._lock:
+                    for key, value in entry["series"].items():
+                        key = tuple(key)
+                        metric._series[key] = metric._series.get(key, 0) + value
+            elif kind == "histogram":
+                metric = self.histogram(
+                    name, entry["help"], entry["label_names"], entry["buckets"]
+                )
+                if list(metric.buckets) != [float(b) for b in entry["buckets"]]:
+                    raise ValueError(f"metric {name!r}: bucket edges differ")
+                with self._lock:
+                    for key, value in entry["series"].items():
+                        key = tuple(key)
+                        series = metric._series.get(key)
+                        if series is None:
+                            series = [[0] * (len(metric.buckets) + 1), 0, 0.0]
+                            metric._series[key] = series
+                        for slot, count in enumerate(value["buckets"]):
+                            series[0][slot] += count
+                        series[1] += value["count"]
+                        series[2] += value["sum"]
+            else:
+                raise ValueError(f"metric {name!r}: unknown kind {kind!r}")
+        return self
+
+    # -- rendering ---------------------------------------------------------
+
+    def render_prometheus(self):
+        """Text exposition format 0.0.4 (the ``GET /metrics`` body)."""
+        lines = []
+        with self._lock:
+            for name in sorted(self._metrics):
+                metric = self._metrics[name]
+                if metric.help:
+                    lines.append(f"# HELP {name} {metric.help}")
+                lines.append(f"# TYPE {name} {metric.kind}")
+                if metric.kind == "histogram":
+                    for key in sorted(metric._series):
+                        counts, total, total_sum = metric._series[key]
+                        cumulative = 0
+                        for slot, edge in enumerate(metric.buckets):
+                            cumulative += counts[slot]
+                            labels = _label_str(
+                                metric.label_names, key, ("le", _format_number(edge))
+                                )
+                            lines.append(f"{name}_bucket{labels} {cumulative}")
+                        cumulative += counts[-1]
+                        labels = _label_str(metric.label_names, key, ("le", "+Inf"))
+                        lines.append(f"{name}_bucket{labels} {cumulative}")
+                        base = _label_str(metric.label_names, key)
+                        lines.append(f"{name}_sum{base} {_format_number(total_sum)}")
+                        lines.append(f"{name}_count{base} {total}")
+                else:
+                    for key in sorted(metric._series):
+                        labels = _label_str(metric.label_names, key)
+                        value = _format_number(metric._series[key])
+                        lines.append(f"{name}{labels} {value}")
+        return "\n".join(lines) + "\n"
+
+    def render_json(self):
+        """The snapshot with JSON-safe keys (label dicts, not tuples)."""
+        out = {}
+        for name, entry in self.snapshot().items():
+            series = [
+                {
+                    "labels": dict(zip(entry["label_names"], key)),
+                    "value": value,
+                }
+                for key, value in sorted(entry["series"].items())
+            ]
+            json_entry = {
+                "kind": entry["kind"],
+                "help": entry["help"],
+                "series": series,
+            }
+            if "buckets" in entry:
+                json_entry["buckets"] = entry["buckets"]
+            out[name] = json_entry
+        return out
+
+
+def _format_number(value):
+    if isinstance(value, bool):
+        return str(int(value))
+    if isinstance(value, int):
+        return str(value)
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return format(value, ".12g")
+
+
+def _escape_label(value):
+    return value.replace("\\", r"\\").replace('"', r"\"").replace("\n", r"\n")
+
+
+def _label_str(label_names, label_values, extra=None):
+    pairs = list(zip(label_names, label_values))
+    if extra is not None:
+        pairs.append(extra)
+    if not pairs:
+        return ""
+    body = ",".join(f'{name}="{_escape_label(str(v))}"' for name, v in pairs)
+    return "{" + body + "}"
+
+
+def _merged_series(kind, a_series, b_series, num_buckets=0):
+    out = {}
+    for key in set(a_series) | set(b_series):
+        va, vb = a_series.get(key), b_series.get(key)
+        if va is None or vb is None:
+            present = va if vb is None else vb
+            out[key] = (
+                {
+                    "buckets": list(present["buckets"]),
+                    "count": present["count"],
+                    "sum": present["sum"],
+                }
+                if kind == "histogram"
+                else present
+            )
+        elif kind == "histogram":
+            out[key] = {
+                "buckets": [x + y for x, y in zip(va["buckets"], vb["buckets"])],
+                "count": va["count"] + vb["count"],
+                "sum": va["sum"] + vb["sum"],
+            }
+        else:
+            out[key] = va + vb
+    return out
+
+
+def merge_snapshots(a, b):
+    """Fold two snapshots into one; commutative, and bit-exact for
+    counters and histogram bucket counts (integer sums)."""
+    out = {}
+    for name in set(a) | set(b):
+        ea, eb = a.get(name), b.get(name)
+        if ea is None or eb is None:
+            present = ea if eb is None else eb
+            out[name] = {
+                **present,
+                "series": _merged_series(present["kind"], present["series"], {}),
+            }
+            continue
+        if ea["kind"] != eb["kind"]:
+            raise ValueError(
+                f"metric {name!r}: cannot merge kind {ea['kind']} with {eb['kind']}"
+            )
+        if ea.get("buckets") != eb.get("buckets"):
+            raise ValueError(f"metric {name!r}: bucket edges differ")
+        out[name] = {
+            **ea,
+            "series": _merged_series(ea["kind"], ea["series"], eb["series"]),
+        }
+    return out
+
+
+def diff_snapshots(current, previous):
+    """The counter/histogram growth between two snapshots of one registry.
+
+    The worker-side half of metric piggybacking: ship
+    ``diff(now, last_shipped)`` and let the parent absorb it.  Gauges
+    are dropped (process-local); series and metrics absent from
+    *previous* pass through whole.
+    """
+    out = {}
+    for name, entry in current.items():
+        kind = entry["kind"]
+        if kind == "gauge":
+            continue
+        prev = (previous or {}).get(name)
+        prev_series = prev["series"] if prev else {}
+        series = {}
+        for key, value in entry["series"].items():
+            before = prev_series.get(key)
+            if before is None:
+                series[key] = (
+                    {
+                        "buckets": list(value["buckets"]),
+                        "count": value["count"],
+                        "sum": value["sum"],
+                    }
+                    if kind == "histogram"
+                    else value
+                )
+            elif kind == "histogram":
+                delta = {
+                    "buckets": [
+                        x - y for x, y in zip(value["buckets"], before["buckets"])
+                    ],
+                    "count": value["count"] - before["count"],
+                    "sum": value["sum"] - before["sum"],
+                }
+                if delta["count"]:
+                    series[key] = delta
+            else:
+                delta = value - before
+                if delta:
+                    series[key] = delta
+        if series:
+            out[name] = {**entry, "series": series}
+    return out
+
+
+#: The process-wide default registry every instrumented layer uses.
+METRICS = MetricsRegistry()

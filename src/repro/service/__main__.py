@@ -91,6 +91,31 @@ def _build_parser():
         action="store_true",
         help="fit (at --scale) when a requested model is neither cached nor on disk",
     )
+    parser.add_argument(
+        "--metrics",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help=(
+            "collect per-stage metrics and serve them at GET /metrics "
+            "(Prometheus text; ?format=json for JSON); --no-metrics disables "
+            "collection process-wide and 404s the route"
+        ),
+    )
+    parser.add_argument(
+        "--log-json",
+        action="store_true",
+        help=(
+            "emit one JSON object per served request (route, status, "
+            "latency_ms, batch size, request ids) to stderr or --log-file; "
+            "off by default"
+        ),
+    )
+    parser.add_argument(
+        "--log-file",
+        metavar="PATH",
+        default=None,
+        help="append the --log-json access log to this file instead of stderr",
+    )
     follow = parser.add_argument_group("live refresh (requires --serve)")
     follow.add_argument(
         "--follow",
@@ -206,6 +231,14 @@ def main(argv=None):
             parser.error(
                 "--follow needs --follow-dataset (or exactly one --fit DATASET)"
             )
+    if args.log_file and not args.log_json:
+        parser.error("--log-file only applies with --log-json")
+    if not args.metrics:
+        # Process-wide switch: every instrumented layer's observations
+        # become cheap no-ops, not just the /metrics route.
+        from repro.obs import METRICS
+
+        METRICS.set_enabled(False)
     config = _config_from_args(args)
 
     # Imported lazily: --serve alone must not pay for the experiments layer.
@@ -262,6 +295,9 @@ def main(argv=None):
             max_workers=args.workers,
             executor=args.executor,
             follow=follow,
+            metrics=args.metrics,
+            log_json=args.log_json,
+            log_file=args.log_file,
         )
         host, port = server.server_address[:2]
         print(
@@ -277,6 +313,8 @@ def main(argv=None):
                 follow.stop()
             server.server_close()
             server.engine.close()
+            if server.access_log_file is not None:
+                server.access_log_file.close()
 
 
 if __name__ == "__main__":

@@ -61,9 +61,22 @@ from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 
 from repro.core import HabitConfig
 from repro.geo.proj import path_length_m
+from repro.obs import METRICS, diff_snapshots
 from repro.service.schema import ImputeResult, Provenance
 
 __all__ = ["BatchImputationEngine"]
+
+_PATH_CACHE_TOTAL = METRICS.counter(
+    "repro_path_cache_total",
+    "Snap-and-path route-cache resolutions by tier (hit, miss, bypass).",
+    ("tier",),
+)
+_IMPUTE_SECONDS = METRICS.histogram(
+    "repro_impute_seconds",
+    "Per-gap imputation latency in seconds (snap + route + render), "
+    "by executor.",
+    ("executor",),
+)
 
 #: Sentinel distinguishing "not cached" from a cached no-route (None).
 _MISSING = object()
@@ -244,8 +257,37 @@ class BatchImputationEngine:
         ]
         results = []
         for future in futures:
-            results.extend(future.result())
+            part, metrics_delta = future.result()
+            # The worker piggybacked its metric growth on the batch
+            # result; folding it here is what makes worker-side search
+            # and path-cache activity visible in the parent's scrape.
+            if METRICS.enabled:
+                METRICS.absorb(metrics_delta)
+            results.extend(part)
         return results
+
+    def path_cache_stats(self):
+        """JSON-ready path-cache block for ``/healthz``.
+
+        Hit/miss counts come from the metrics registry when collection
+        is enabled -- in process mode that includes worker-side probes
+        absorbed from batch deltas -- and fall back to the parent
+        cache's own counters when metrics are off.  ``entries`` and
+        ``capacity`` always describe the parent's cache.
+        """
+        cache = self.path_cache
+        if METRICS.enabled:
+            hits = _PATH_CACHE_TOTAL.value(("hit",))
+            misses = _PATH_CACHE_TOTAL.value(("miss",))
+        else:
+            hits = cache.hits if cache is not None else 0
+            misses = cache.misses if cache is not None else 0
+        return {
+            "hits": hits,
+            "misses": misses,
+            "entries": len(cache) if cache is not None else 0,
+            "capacity": cache.capacity if cache is not None else 0,
+        }
 
     def _run_serial(self, requests, config, label):
         """Resolve-once + sequential impute; the worker-side half of
@@ -303,7 +345,10 @@ class BatchImputationEngine:
         imputer, model_id, source = resolved
         started = time.perf_counter()
         path, path_tier = self._route_cached(imputer, model_id, request)
-        elapsed_ms = (time.perf_counter() - started) * 1e3
+        elapsed = time.perf_counter() - started
+        elapsed_ms = elapsed * 1e3
+        _PATH_CACHE_TOTAL.inc(1, (path_tier,))
+        _IMPUTE_SECONDS.observe(elapsed, (executor_label,))
         provenance = Provenance(
             model_id=model_id,
             cache=source,
@@ -329,6 +374,13 @@ class BatchImputationEngine:
 #: batches for the life of the pool.
 _WORKER_ENGINES = {}
 
+#: The last metrics snapshot this worker shipped to a parent.  Each
+#: batch returns ``diff_snapshots(now, last_shipped)`` -- only growth
+#: since the previous batch -- so the parent can absorb every delta
+#: without ever double-counting (one-slot dict: workers are
+#: single-threaded by design).
+_WORKER_METRICS_SHIPPED = {"snapshot": None}
+
 
 def _process_batch(root, path_cache_size, requests, config, revisions):
     """Run one batch slice inside a worker process.
@@ -337,6 +389,11 @@ def _process_batch(root, path_cache_size, requests, config, revisions):
     over its own registry on first use and reuses it afterwards.
     *revisions* (model id -> revision the parent resolved) evicts any
     worker-cached model a refresh has superseded before serving.
+
+    Returns ``(results, metrics_delta)``: the worker's metric growth
+    since its last shipped snapshot piggybacks on every batch so the
+    parent can fold warm-worker cache/search activity into its own
+    registry (see :mod:`repro.obs`).
     """
     from repro.service.registry import ModelRegistry
 
@@ -350,4 +407,8 @@ def _process_batch(root, path_cache_size, requests, config, revisions):
         engine = cached[1]
     for model_id, revision in revisions.items():
         engine.registry.ensure_revision(model_id, revision)
-    return engine._run_serial(requests, config, "process")
+    results = engine._run_serial(requests, config, "process")
+    snapshot = METRICS.snapshot()
+    delta = diff_snapshots(snapshot, _WORKER_METRICS_SHIPPED["snapshot"])
+    _WORKER_METRICS_SHIPPED["snapshot"] = snapshot
+    return results, delta

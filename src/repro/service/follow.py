@@ -38,8 +38,35 @@ from repro.ais import CsvFollower, schema
 from repro.ais.reader import DEFAULT_CHUNK_ROWS
 from repro.core import HabitConfig, StreamingSegmenter, clean_messages
 from repro.minidb import Table
+from repro.obs import METRICS
 
 __all__ = ["FollowDaemon"]
+
+_CYCLE_SECONDS = METRICS.histogram(
+    "repro_follow_cycle_seconds",
+    "Follow-daemon ingest cycle duration in seconds "
+    "(poll + clean + segment + maybe-refresh).",
+)
+_ROWS_TOTAL = METRICS.counter(
+    "repro_follow_rows_total",
+    "Source rows read from the followed dump.",
+)
+_TRIPS_TOTAL = METRICS.counter(
+    "repro_follow_trips_closed_total",
+    "Trips closed by incremental segmentation and folded into refreshes.",
+)
+_REFRESHES_TOTAL = METRICS.counter(
+    "repro_follow_refreshes_total",
+    "Served-model refreshes performed by the follow daemon.",
+)
+_REFRESH_LAG = METRICS.gauge(
+    "repro_follow_refresh_lag_seconds",
+    "Seconds since the follow daemon's last successful refresh.",
+)
+_PENDING_ROWS = METRICS.gauge(
+    "repro_follow_pending_rows",
+    "Closed-trip rows buffered and awaiting the next refresh.",
+)
 
 
 class FollowDaemon:
@@ -105,6 +132,7 @@ class FollowDaemon:
         self._state_path = Path(registry.root) / f"{model_id}.follow.json"
         self._stop = threading.Event()
         self._thread = None
+        self._last_refresh_monotonic = None  # feeds the refresh-lag gauge
         self._lifecycle = threading.Lock()  # serialises start()/stop()
         self._status_lock = threading.Lock()
         self._status = {
@@ -213,8 +241,13 @@ class FollowDaemon:
         last_refresh = 0.0
         try:
             while not self._stop.is_set():
+                cycle_started = time.perf_counter()
                 got_data = self._ingest_once()
                 last_refresh = self._maybe_refresh(last_refresh)
+                _CYCLE_SECONDS.observe(time.perf_counter() - cycle_started)
+                _PENDING_ROWS.set(self._pending_rows)
+                if self._last_refresh_monotonic is not None:
+                    _REFRESH_LAG.set(time.monotonic() - self._last_refresh_monotonic)
                 if not got_data:
                     # Feed drained: sleep one poll interval.  While a
                     # backlog is draining, loop immediately instead.
@@ -246,8 +279,11 @@ class FollowDaemon:
             self._backlog = self._follower.poll()
             got_data = bool(self._backlog)
             if got_data:
+                rows_read = self._follower.rows_read
                 with self._status_lock:
-                    self._status["rows_read"] = self._follower.rows_read
+                    previously_read = self._status["rows_read"]
+                    self._status["rows_read"] = rows_read
+                _ROWS_TOTAL.inc(rows_read - previously_read)
         while self._backlog:
             trips = self._segmenter.push(clean_messages(self._backlog[0]))
             self._backlog.pop(0)
@@ -287,6 +323,10 @@ class FollowDaemon:
         self._pending = []
         self._pending_rows = 0
         self._save_state(revision)
+        self._last_refresh_monotonic = time.monotonic()
+        _TRIPS_TOTAL.inc(int(trips_closed))
+        _REFRESHES_TOTAL.inc()
+        _REFRESH_LAG.set(0.0)
         with self._status_lock:
             self._status["trips_closed"] += int(trips_closed)
             self._status["refreshes"] += 1

@@ -48,8 +48,28 @@ from repro.core import (
     TypedHabitImputer,
     config_hash,
 )
+from repro.obs import METRICS
 
 __all__ = ["ModelNotFound", "ModelRegistry", "RegistryStats"]
+
+_RESOLUTIONS_TOTAL = METRICS.counter(
+    "repro_registry_resolutions_total",
+    "Model resolutions by tier (hit = warm LRU, load = disk, fit = fit-on-miss).",
+    ("tier",),
+)
+_REGISTRY_SECONDS = METRICS.histogram(
+    "repro_registry_seconds",
+    "Registry slow-path duration in seconds, by operation (load, fit, refresh).",
+    ("op",),
+)
+_EVICTIONS_TOTAL = METRICS.counter(
+    "repro_registry_evictions_total",
+    "Models evicted from the in-memory LRU cache.",
+)
+_MODELS_LOADED = METRICS.gauge(
+    "repro_registry_models_loaded",
+    "Models currently warm in this process's LRU cache.",
+)
 
 #: Model-id marker separating typed multi-graph models from plain ones.
 _TYPED_TAG = "_TYPED"
@@ -157,19 +177,25 @@ class ModelRegistry:
             path = self.root / f"{model_id}.npz"
             loader = TypedHabitImputer if typed else HabitImputer
             if path.exists():
+                started = time.perf_counter()
                 try:
                     imputer = loader.load(path)
                 except ModelFormatError:
                     if self.fitter is None:
                         raise
                 else:
+                    _REGISTRY_SECONDS.observe(time.perf_counter() - started, ("load",))
+                    _RESOLUTIONS_TOTAL.inc(1, ("load",))
                     with self._lock:
                         self._loads += 1
                         self._insert(model_id, imputer)
                     return imputer, model_id, "load"
+            started = time.perf_counter()
             imputer = self._fit_on_miss(dataset, config, typed)
             if imputer is not None:
                 imputer.save(path)
+                _REGISTRY_SECONDS.observe(time.perf_counter() - started, ("fit",))
+                _RESOLUTIONS_TOTAL.inc(1, ("fit",))
                 with self._lock:
                     self._fits += 1
                     self._insert(model_id, imputer)
@@ -194,7 +220,7 @@ class ModelRegistry:
         config = config or HabitConfig()
         model_id = self.model_id(dataset, config, typed)
         base, _, _ = self.get(dataset, config, typed=typed)
-        with self._model_lock(model_id):
+        with self._model_lock(model_id), _REGISTRY_SECONDS.time(("refresh",)):
             with self._lock:
                 base = self._cache.get(model_id, base)
             # Replace, never mutate: fork() shares the (immutable) fit
@@ -235,6 +261,7 @@ class ModelRegistry:
             if model_id in self._cache:
                 self._cache.move_to_end(model_id)
                 self._hits += 1
+                _RESOLUTIONS_TOTAL.inc(1, ("hit",))
                 return self._cache[model_id], model_id, "hit"
         return None
 
@@ -244,6 +271,8 @@ class ModelRegistry:
         while len(self._cache) > self.capacity:
             self._cache.popitem(last=False)
             self._evictions += 1
+            _EVICTIONS_TOTAL.inc()
+        _MODELS_LOADED.set(len(self._cache))
 
     # -- introspection ----------------------------------------------------
 
@@ -265,6 +294,7 @@ class ModelRegistry:
         """Drop every cached model (files on disk are untouched)."""
         with self._lock:
             self._cache.clear()
+            _MODELS_LOADED.set(0)
 
     def peek_revision(self, dataset, config, typed=False):
         """Cheap resolvability probe: ``(model_id, revision)`` or ``(id, None)``.
@@ -301,6 +331,7 @@ class ModelRegistry:
             cached = self._cache.get(model_id)
             if cached is not None and getattr(cached, "revision", 1) < revision:
                 del self._cache[model_id]
+                _MODELS_LOADED.set(len(self._cache))
 
     def list_models(self):
         """All models in the registry directory, as JSON-ready dicts.

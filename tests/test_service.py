@@ -566,6 +566,7 @@ def test_http_health_and_models(server):
     status, health = _get(server, "/healthz")
     assert status == 200 and health["status"] == "ok"
     assert {"hits", "loads", "fits", "evictions", "refreshes"} <= set(health["cache"])
+    assert {"hits", "misses", "entries", "capacity"} <= set(health["path_cache"])
     assert health["executor"] == "thread"
     assert "follow" not in health  # no daemon attached to this server
     status, models = _get(server, "/models")

@@ -10,12 +10,18 @@ Two stages, both against temp directories (nothing lands in the repo):
    the public API at test scale: fit a model into a registry, start a
    :class:`repro.service.FollowDaemon` plus HTTP server over a growing
    dump, append rows, and wait for the ``/models`` revision to bump.
-   Pass ``--models-feed FILE`` to save the final ``/models`` payload
-   (CI uploads it as an artifact).
+   Then a ``POST /impute`` exercises the serving path and ``GET
+   /metrics`` is scraped: every ``repro_*`` metric named in the
+   ``docs/OPERATIONS.md`` Monitoring catalogue must appear in the
+   scrape, so the documented catalogue cannot drift from the code.
+   Pass ``--models-feed FILE`` / ``--metrics-scrape FILE`` to save the
+   final ``/models`` payload and the raw Prometheus scrape (CI uploads
+   both as artifacts).
 
 Usage::
 
     python tools/docs_smoke.py [--models-feed models_feed.json]
+                               [--metrics-scrape metrics_scrape.txt]
 """
 
 import argparse
@@ -50,7 +56,63 @@ def _get_json(base, path):
         return json.loads(response.read())
 
 
-def run_live_refresh(workdir, feed_path):
+def _get_text(base, path):
+    with urllib.request.urlopen(base + path, timeout=10) as response:
+        return response.read().decode("utf-8")
+
+
+def _post_json(base, path, payload):
+    request = urllib.request.Request(
+        base + path,
+        data=json.dumps(payload).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(request, timeout=30) as response:
+        return json.loads(response.read())
+
+
+def documented_metrics():
+    """Every ``repro_*`` metric named in the OPERATIONS.md Monitoring section."""
+    ops = (REPO / "docs" / "OPERATIONS.md").read_text(encoding="utf-8")
+    if "## 4. Monitoring" not in ops:
+        raise SystemExit("docs/OPERATIONS.md: no '## 4. Monitoring' section")
+    section = ops.split("## 4. Monitoring", 1)[1].split("\n## ", 1)[0]
+    names = sorted(set(re.findall(r"\brepro_[a-z_]+", section)))
+    if len(names) < 10:
+        raise SystemExit(
+            f"docs/OPERATIONS.md: Monitoring catalogue looks gutted ({names})"
+        )
+    return names
+
+
+def check_metrics_scrape(base, data, scrape_path):
+    """POST an impute batch, scrape /metrics, verify the documented catalogue."""
+    print("-- metrics scrape --")
+    gap = data.gaps(3600.0)[0]
+    reply = _post_json(
+        base,
+        "/impute",
+        {"dataset": "KIEL", "start": list(gap.start), "end": list(gap.end)},
+    )
+    assert reply["count"] == 1, reply
+    scrape = _get_text(base, "/metrics")
+    missing = [name for name in documented_metrics() if name not in scrape]
+    if missing:
+        raise SystemExit(
+            "documented in docs/OPERATIONS.md but absent from /metrics: "
+            + ", ".join(missing)
+        )
+    samples = sum(1 for line in scrape.splitlines() if not line.startswith("#"))
+    print(
+        f"scrape: {samples} samples, all {len(documented_metrics())} "
+        f"documented metrics present"
+    )
+    if scrape_path:
+        scrape_path.write_text(scrape)
+        print(f"wrote /metrics scrape to {scrape_path}")
+
+
+def run_live_refresh(workdir, feed_path, scrape_path):
     from repro.core import HabitConfig, HabitImputer
     from repro.experiments import common
     from repro.service import FollowDaemon, ModelRegistry, make_server
@@ -94,6 +156,7 @@ def run_live_refresh(workdir, feed_path):
         if feed_path:
             feed_path.write_text(json.dumps(_get_json(base, "/models"), indent=2))
             print(f"wrote /models feed to {feed_path}")
+        check_metrics_scrape(base, data, scrape_path)
     finally:
         daemon.stop()
         server.shutdown()
@@ -110,12 +173,19 @@ def main():
         default=None,
         help="write the final /models payload to this file",
     )
+    parser.add_argument(
+        "--metrics-scrape",
+        type=Path,
+        default=None,
+        help="write the raw /metrics Prometheus scrape to this file",
+    )
     args = parser.parse_args()
     feed_path = args.models_feed.resolve() if args.models_feed else None
+    scrape_path = args.metrics_scrape.resolve() if args.metrics_scrape else None
     with tempfile.TemporaryDirectory(prefix="docs-smoke-") as tmp:
         workdir = Path(tmp)
         run_quickstart(workdir)
-        run_live_refresh(workdir, feed_path)
+        run_live_refresh(workdir, feed_path, scrape_path)
     print("docs smoke: OK")
 
 
