@@ -29,6 +29,7 @@ from repro.experiments import common
 BENCH_JSON_GROUPS = {
     "table4-latency": "table4",
     "search-variants": "search",
+    "batch-kernel": "search",
 }
 
 

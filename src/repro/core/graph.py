@@ -47,11 +47,19 @@ Two weight schemes are supported:
 
 import threading
 from dataclasses import dataclass, field
-from heapq import heappop, heappush
+from heapq import heapify, heappop, heappush
 from time import perf_counter
 
 import numpy as np
 
+from repro.core.kernel import (
+    KERNEL_BATCH_SIZE,
+    KERNEL_SECONDS,
+    KERNEL_SWEEP_ITERATIONS,
+    batch_ch_paths,
+    build_kernel_tables,
+    initial_cut_counts,
+)
 from repro.hexgrid import (
     cell_axial_array,
     cell_to_latlng_array,
@@ -213,6 +221,8 @@ class CellGraph:
         self._ch_up_lists = None  # hot-loop mirrors of the CH CSR arrays
         self._ch_down_lists = None
         self._ch_middle_map = None  # (u, v) -> middle node (unpacking)
+        self._ch_kernel_table = None  # sorted augmented-edge table (batch)
+        self._in_deg = None  # per-node in-degree (degenerate short-circuit)
 
     @classmethod
     def from_statistics(cls, cell_stats, transition_stats, projection, edge_weight):
@@ -479,6 +489,8 @@ class CellGraph:
         if si == di:
             cell = int(self.cells[si])
             return SearchResult((cell,), 0.0, 0, method, (si,))
+        if self._degenerate_unreachable(si, di):
+            return None
         if method == "bidirectional":
             found = self._bidirectional(si, di)
         elif method == "ch":
@@ -500,6 +512,34 @@ class CellGraph:
         path, cost, expanded = found
         cells = tuple(self.cells[path].tolist())
         return SearchResult(cells, cost, expanded, method, tuple(path))
+
+    def _degenerate_unreachable(self, si, di):
+        """Cheap provable-unreachable test for a ``si != di`` pair.
+
+        A source with no outgoing edges cannot reach anything and a
+        target with no incoming edges cannot be reached, so every
+        variant can return ``None`` before touching its heap (or
+        triggering a lazy landmark/CH build).
+        """
+        return (
+            self.indptr[si + 1] == self.indptr[si] or self._in_degree()[di] == 0
+        )
+
+    def _in_degree(self):
+        """Per-node in-degree array (lazy, cached)."""
+        deg = self._in_deg
+        if deg is None:
+            with self._lock:
+                deg = self._in_deg
+                if deg is None:
+                    n = self.num_nodes
+                    deg = (
+                        np.bincount(self.indices, minlength=n)
+                        if len(self.indices)
+                        else np.zeros(n, np.int64)
+                    )
+                    self._in_deg = deg
+        return deg
 
     def _astar_indices(self, si, di, h):
         """Unidirectional A* / Dijkstra over the adjacency mirror."""
@@ -811,147 +851,432 @@ class CellGraph:
 
     def _compute_ch_locked(self):
         n = self.num_nodes
-        # Overlay adjacency for the contraction pass: per-node dicts of
-        # the *remaining* graph plus accumulated shortcuts, deduplicated
-        # to the cheapest parallel edge (what every search relaxes
-        # anyway).  Self-loops can never lie on a cheapest path
-        # (all costs are positive) and are dropped.
-        out_adj = [dict() for _ in range(n)]
-        in_adj = [dict() for _ in range(n)]
-        indptr = self.indptr.tolist()
-        indices = self.indices.tolist()
-        costs = self.costs.tolist()
-        for u in range(n):
-            row = out_adj[u]
-            for e in range(indptr[u], indptr[u + 1]):
-                v = indices[e]
-                if v == u:
-                    continue
-                w = costs[e]
-                old = row.get(v)
-                if old is None or w < old[0]:
-                    row[v] = (w, -1)
-                    in_adj[v][u] = (w, -1)
+        # Overlay adjacency for the contraction pass, deduplicated to
+        # the cheapest parallel edge (what every search relaxes anyway)
+        # and self-loop-free (positive costs, never on a cheapest
+        # path).  ``out_all`` accumulates every augmented edge with its
+        # middle back-pointer for the final rank split; ``out_live`` /
+        # ``in_live`` mirror only the *remaining* graph -- contracted
+        # nodes are physically removed, so the witness inner loop
+        # iterates plain ``{node: cost}`` dicts with no contracted
+        # checks or tuple unpacking.
+        eu = np.repeat(
+            np.arange(n, dtype=np.int64), np.diff(self.indptr.astype(np.int64))
+        )
+        ev = self.indices.astype(np.int64)
+        ec = self.costs
+        keep = eu != ev
+        eu, ev, ec = eu[keep], ev[keep], ec[keep]
+        ekey = eu * n + ev
+        order = np.lexsort((ec, ekey))
+        ekey = ekey[order]
+        first = np.ones(ekey.size, dtype=bool)
+        first[1:] = ekey[1:] != ekey[:-1]
+        eu, ev, ec = eu[order][first], ev[order][first], ec[order][first]
+        fsplit = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(np.bincount(eu, minlength=n), out=fsplit[1:])
+        rorder = np.argsort(ev, kind="stable")
+        rsplit = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(np.bincount(ev, minlength=n), out=rsplit[1:])
+        fv, fc = ev.tolist(), ec.tolist()
+        ru, rc = eu[rorder].tolist(), ec[rorder].tolist()
+        fb, rb = fsplit.tolist(), rsplit.tolist()
+        out_live = [
+            dict(zip(fv[fb[u] : fb[u + 1]], fc[fb[u] : fb[u + 1]]))
+            for u in range(n)
+        ]
+        in_live = [
+            dict(zip(ru[rb[v] : rb[v + 1]], rc[rb[v] : rb[v + 1]]))
+            for v in range(n)
+        ]
+        out_all = [
+            {v: (c, -1) for v, c in row.items()} for row in out_live
+        ]
         contracted = bytearray(n)
         rank = np.zeros(n, dtype=np.int32)
         deleted = [0] * n
 
-        def witness_distances(source, skip, targets, limit):
-            """Bounded Dijkstra from *source* in the remaining overlay,
-            avoiding *skip*; returns tentative distances (a dict)."""
-            dist = {source: 0.0}
+        # Stamped scratch arrays for the witness searches: one flat
+        # distance/version pair per node instead of a fresh dict per
+        # search, so the inner relax loop is pure list indexing.
+        wdist = [0.0] * n
+        wstamp = [0] * n
+        wver = 0
+
+        def witness_distances(adj, source, targets, limit):
+            """Bounded Dijkstra from *source* over *adj* (the live
+            forward or reverse overlay); fills the stamped scratch
+            arrays and returns the search's stamp.  The node being
+            evaluated must already be detached from *adj* -- the caller
+            unlinks its incident edges once per evaluation, which is
+            cheaper than a skip test in every relaxation."""
+            nonlocal wver
+            wver += 1
+            ver = wver
+            dist = wdist
+            stamp = wstamp
+            dist[source] = 0.0
+            stamp[source] = ver
             heap = [(0.0, source)]
-            remaining = set(targets)
+            pop = heappop
+            push = heappush
+            remaining = len(targets)
             settled = 0
+            # Labels beyond the witness cap can never pass a witness
+            # comparison (every ``through <= limit``), so pushes past
+            # it are pure heap churn -- prune them at the source.
+            cap = limit * (1.0 + _CH_WITNESS_RTOL)
             while heap and remaining and settled < _CH_WITNESS_LIMIT:
-                d, u = heappop(heap)
+                d, u = pop(heap)
                 if d > limit:
                     break
-                if d > dist.get(u, _INF):
+                if d > dist[u]:
                     continue  # stale heap entry
-                remaining.discard(u)
+                if u in targets:
+                    remaining -= 1
                 settled += 1
-                for v, (w, _) in out_adj[u].items():
-                    if v == skip or contracted[v]:
-                        continue
+                for v, w in adj[u].items():
                     nd = d + w
-                    if nd < dist.get(v, _INF):
-                        dist[v] = nd
-                        heappush(heap, (nd, v))
-            return dist
-
-        def shortcuts_for(w):
-            """Shortcuts required to preserve distances when *w* goes."""
-            ins = [
-                (u, cu) for u, (cu, _) in in_adj[w].items() if not contracted[u]
-            ]
-            outs = [
-                (v, cv) for v, (cv, _) in out_adj[w].items() if not contracted[v]
-            ]
-            if not ins or not outs:
-                return []
-            max_out = max(cv for _, cv in outs)
-            needed = []
-            for u, cuw in ins:
-                targets = [v for v, _ in outs if v != u]
-                if not targets:
-                    continue
-                dist = witness_distances(u, w, targets, cuw + max_out)
-                for v, cwv in outs:
-                    if v == u:
+                    if nd > cap:
                         continue
-                    through = cuw + cwv
-                    if dist.get(v, _INF) <= through * (1.0 + _CH_WITNESS_RTOL):
-                        continue  # a witness path survives without w
-                    needed.append((u, v, through))
-            return needed
+                    if stamp[v] != ver or nd < dist[v]:
+                        dist[v] = nd
+                        stamp[v] = ver
+                        push(heap, (nd, v))
+            return ver
 
-        def active_degree(w):
-            return sum(1 for u in in_adj[w] if not contracted[u]) + sum(
-                1 for v in out_adj[w] if not contracted[v]
+        def scan_pairs(w, din, dout, skip=()):
+            """Pending (in, out) pairs of *w* with no trivial witness.
+
+            A live overlay edge between the pair's endpoints is itself
+            a witness (shortcut expansions pass only through
+            already-contracted nodes, never through live *w*), and most
+            remaining witnesses in these near-planar overlays are two
+            edges long -- a handful of dict probes settles them far
+            cheaper than a heap search.  Survivors are grouped by
+            source for ``searched_cuts``.  ``din is None`` scans every
+            pair (exact mode); otherwise only pairs touching an edge in
+            ``din``/``dout`` are considered.  Pairs in ``skip`` are
+            excluded (already-settled verdicts the caller vouches for).
+            """
+            ins_d = in_live[w]
+            outs_d = out_live[w]
+            rtol = 1.0 + _CH_WITNESS_RTOL
+            exact = din is None
+            pend = {}
+            tgts = set()
+            for a, cuw in ins_d.items():
+                adirty = exact or a in din
+                if not adirty and not dout:
+                    continue
+                direct = out_live[a]
+                for b, cwb in outs_d.items():
+                    if b == a or not (adirty or b in dout):
+                        continue
+                    if skip and (a, b) in skip:
+                        continue
+                    through = cuw + cwb
+                    cap = through * rtol
+                    dbc = direct.get(b)
+                    if dbc is not None and dbc <= cap:
+                        continue  # the edge itself is a witness
+                    hop2 = False
+                    for x, cax in direct.items():
+                        if x == w or x == b:
+                            continue
+                        cxb = out_live[x].get(b)
+                        if cxb is not None and cax + cxb <= cap:
+                            hop2 = True
+                            break
+                    if hop2:
+                        continue
+                    pend.setdefault(a, []).append((b, through))
+                    tgts.add(b)
+            return pend, tgts
+
+        def searched_cuts(w, pend, tgts):
+            """Witness searches for the pending pairs of *w*; returns
+            the pairs with no witness (the cuts).  Searches run on the
+            *smaller* grouping -- forward from each source over
+            ``out_live``, or backward from each target over the reverse
+            overlay -- with *w* detached so no path routes through it.
+            """
+            new_cuts = []
+            if not pend:
+                return new_cuts
+            ins_d = in_live[w]
+            outs_d = out_live[w]
+            rtol = 1.0 + _CH_WITNESS_RTOL
+            for a in ins_d:
+                del out_live[a][w]
+            for b in outs_d:
+                del in_live[b][w]
+            if len(pend) <= len(tgts):
+                for a, pairs in pend.items():
+                    ver = witness_distances(
+                        out_live,
+                        a,
+                        [b for b, _ in pairs],
+                        max(t for _, t in pairs),
+                    )
+                    for b, through in pairs:
+                        if (
+                            wstamp[b] == ver
+                            and wdist[b] <= through * rtol
+                        ):
+                            continue  # a witness survives without w
+                        new_cuts.append((a, b, through))
+            else:
+                back = {}
+                for a, pairs in pend.items():
+                    for b, through in pairs:
+                        back.setdefault(b, []).append((a, through))
+                for b, pairs in back.items():
+                    ver = witness_distances(
+                        in_live,
+                        b,
+                        [a for a, _ in pairs],
+                        max(t for _, t in pairs),
+                    )
+                    for a, through in pairs:
+                        if (
+                            wstamp[a] == ver
+                            and wdist[a] <= through * rtol
+                        ):
+                            continue
+                        new_cuts.append((a, b, through))
+            for a, cuw in ins_d.items():
+                out_live[a][w] = cuw
+            for b, cwb in outs_d.items():
+                in_live[b][w] = cwb
+            return new_cuts
+
+        def estimate(w):
+            """Estimated cut *count* for *w* -- heap ordering only.
+
+            Runs no witness searches at all.  ``cached`` keeps verdicts
+            from the last exact evaluation: its "cut" triples stay
+            valid forever (contraction maps every new path to an
+            equal-cost older one, so live distances only grow, and a
+            pair's ``through`` improving marks it dirty), while pairs
+            touching a dirty edge move into ``unver`` -- counted as
+            provisional cuts until ``exact_cuts`` resolves them at
+            contraction time.  A reused "witnessed" verdict (a pair
+            absent from both) can go stale without any of the pair's
+            own edges changing -- contracting some other node *x*
+            destroys the witness path exactly when *x*'s replacement
+            shortcut was suppressed by a witness through *w* itself --
+            so cached verdicts order the heap but are never trusted
+            for insertion; only cuts survive reuse, and only in
+            ``exact_cuts``'s skip set.
+            """
+            ins_d = in_live[w]
+            outs_d = out_live[w]
+            din = dirty_in[w]
+            dout = dirty_out[w]
+            uv = unver[w]
+            if din is None and dout is None and deleted[w] == eval_del[w]:
+                return len(cached[w]) + (len(uv) if uv else 0)
+            eval_del[w] = deleted[w]
+            if not ins_d or not outs_d:
+                dirty_in[w] = None
+                dirty_out[w] = None
+                cached[w] = []
+                unver[w] = None
+                return 0
+            din = din or ()
+            dout = dout or ()
+            dirty_in[w] = None
+            dirty_out[w] = None
+            cached[w] = retained = [
+                t
+                for t in cached[w]
+                if t[0] in ins_d
+                and t[1] in outs_d
+                and t[0] not in din
+                and t[1] not in dout
+            ]
+            if uv:
+                for a, b in list(uv):
+                    if (
+                        a not in ins_d
+                        or b not in outs_d
+                        or a in din
+                        or b in dout
+                    ):
+                        del uv[(a, b)]
+            if din or dout:
+                pend, _ = scan_pairs(w, din, dout)
+                if pend:
+                    if uv is None:
+                        uv = unver[w] = {}
+                    for a, pairs in pend.items():
+                        for b, through in pairs:
+                            uv[(a, b)] = through
+            return len(retained) + (len(uv) if uv else 0)
+
+        def exact_cuts(w):
+            """Current witnessed cuts of *w*, recomputed against the
+            live overlay -- the only verdicts sound enough to insert as
+            shortcuts (see ``estimate`` for why cached "witnessed"
+            ones are not).  Cached *cut* verdicts, by contrast, never
+            go stale -- contraction maps every new path to an equal-cost
+            older one, so live distances (with or without *w*) only
+            ever grow, and a pair's ``through`` improving marks it
+            dirty -- so the cuts ``estimate`` just filtered to current
+            membership are taken verbatim and only the remaining
+            pairs are re-proven.  Skipping them drops exactly the most
+            expensive searches: a no-witness search exhausts its whole
+            cost ball before giving up.
+            """
+            if not in_live[w] or not out_live[w]:
+                return []
+            known = cached[w]
+            pend, tgts = scan_pairs(
+                w, None, (), {(a, b) for a, b, _ in known}
             )
+            new_cuts = searched_cuts(w, pend, tgts)
+            return known + new_cuts if new_cuts else known
 
-        # Lazy-re-evaluation contraction loop: priorities go stale as
-        # neighbours contract, so each popped node is re-scored and only
-        # contracted while it still beats the heap's next candidate.
-        heap = []
-        for w in range(n):
-            cuts = shortcuts_for(w)
-            heappush(heap, (len(cuts) - active_degree(w), w))
+        # Lazy-re-evaluation contraction loop: each popped node is
+        # re-scored with the cheap incremental ``estimate`` and
+        # contracted only while it still beats the heap's next
+        # candidate -- at which point ``exact_cuts`` recomputes the
+        # real shortcut set against the live overlay.  The initial
+        # pass -- one exact witness evaluation per node on the pristine
+        # overlay -- runs as one vectorised multi-lane sweep in the
+        # kernel; counts and cut triples are exactly the scalar pass's
+        # (see ``initial_cut_counts``), and seed the estimate cache.
+        init_counts, (cw, cu, cv, ct) = initial_cut_counts(
+            n,
+            self.indptr,
+            self.indices,
+            self.costs,
+            _CH_WITNESS_RTOL,
+            return_cuts=True,
+        )
+        heap = [
+            (c - len(in_live[w]) - len(out_live[w]), w)
+            for w, c in enumerate(init_counts.tolist())
+        ]
+        heapify(heap)
+        cached = [[] for _ in range(n)]  # node -> last exact cut verdicts
+        for wi, ui, vi, ti in zip(
+            cw.tolist(), cu.tolist(), cv.tolist(), ct.tolist()
+        ):
+            cached[wi].append((ui, vi, ti))
+        unver = [None] * n  # node -> {(a, b): through} awaiting a verdict
+        # Endpoints of edges added/improved since a node's last
+        # evaluation -- the only pairs ``estimate`` must re-scan --
+        # plus the neighbour-contraction count last seen, so a pop
+        # with no changes at all returns its count untouched.
+        dirty_in = [None] * n
+        dirty_out = [None] * n
+        eval_del = [0] * n
+        aug = []  # every inserted shortcut, flat, for the final split
         next_rank = 0
         while heap:
             _, w = heappop(heap)
             if contracted[w]:
                 continue
-            cuts = shortcuts_for(w)
-            priority = len(cuts) - active_degree(w) + deleted[w]
+            degree = len(in_live[w]) + len(out_live[w])
+            priority = estimate(w) - degree + deleted[w]
             if heap and priority > heap[0][0]:
                 heappush(heap, (priority, w))
                 continue
+            cuts = exact_cuts(w)
+            priority = len(cuts) - degree + deleted[w]
+            if heap and priority > heap[0][0]:
+                # The estimate was off; the exact verdicts are the
+                # freshest estimate there is, so recycle them.
+                cached[w] = cuts
+                unver[w] = None
+                dirty_in[w] = None
+                dirty_out[w] = None
+                eval_del[w] = deleted[w]
+                heappush(heap, (priority, w))
+                continue
             for u, v, cost in cuts:
-                old = out_adj[u].get(v)
+                old = out_all[u].get(v)
                 if old is None or cost < old[0]:
-                    out_adj[u][v] = (cost, w)
-                    in_adj[v][u] = (cost, w)
+                    out_all[u][v] = (cost, w)
+                    out_live[u][v] = cost
+                    in_live[v][u] = cost
+                    aug.append((u, v, cost, w))
+                    du = dirty_out[u]
+                    if du is None:
+                        dirty_out[u] = {v}
+                    else:
+                        du.add(v)
+                    dv = dirty_in[v]
+                    if dv is None:
+                        dirty_in[v] = {u}
+                    else:
+                        dv.add(u)
             contracted[w] = 1
             rank[w] = next_rank
             next_rank += 1
-            for u in in_adj[w]:
-                if not contracted[u]:
-                    deleted[u] += 1
-            for v in out_adj[w]:
-                if not contracted[v]:
-                    deleted[v] += 1
+            for u in in_live[w]:
+                del out_live[u][w]
+                deleted[u] += 1
+            for v in out_live[w]:
+                del in_live[v][w]
+                deleted[v] += 1
+            out_live[w] = {}
+            in_live[w] = {}
 
-        # Split the augmented edge set by rank direction.  ``up`` rows
-        # are outgoing edges to higher-ranked nodes (forward search);
-        # ``down`` rows are *incoming* edges from higher-ranked nodes
-        # (backward search, and the forward search's stall probe).
-        up_rows = [[] for _ in range(n)]
-        down_rows = [[] for _ in range(n)]
-        for u in range(n):
-            ru = rank[u]
-            for v, (cost, middle) in out_adj[u].items():
-                if rank[v] > ru:
-                    up_rows[u].append((v, cost, middle))
-                else:
-                    down_rows[v].append((u, cost, middle))
+        # Split the augmented edge set by rank direction, vectorised:
+        # originals plus every appended shortcut, deduplicated to the
+        # cheapest per pair with earliest-insertion tie-breaking (the
+        # same verdicts the ``out_all`` dicts keep), then one stable
+        # sort per direction.  ``up`` rows are outgoing edges to
+        # higher-ranked nodes (forward search); ``down`` rows are
+        # *incoming* edges from higher-ranked nodes (backward search,
+        # and the forward search's stall probe).
+        if aug:
+            su, sv, sc, sm = zip(*aug)
+            au = np.concatenate([eu, np.asarray(su, dtype=np.int64)])
+            av = np.concatenate([ev, np.asarray(sv, dtype=np.int64)])
+            ac = np.concatenate([ec, np.asarray(sc, dtype=np.float64)])
+            am = np.concatenate(
+                [
+                    np.full(eu.size, -1, dtype=np.int32),
+                    np.asarray(sm, dtype=np.int32),
+                ]
+            )
+        else:
+            au, av, ac = eu, ev, ec
+            am = np.full(eu.size, -1, dtype=np.int32)
+        akey = au * n + av
+        aorder = np.lexsort((ac, akey))
+        akey = akey[aorder]
+        akeep = np.ones(akey.size, dtype=bool)
+        akeep[1:] = akey[1:] != akey[:-1]
+        sel = aorder[akeep]  # sorted by (u, v), cheapest per pair
+        au, av, ac, am = au[sel], av[sel], ac[sel], am[sel]
+        rank64 = rank.astype(np.int64)
+        up_mask = rank64[av] > rank64[au]
         self.ch_rank = rank
-        (
-            self.ch_up_indptr,
-            self.ch_up_indices,
-            self.ch_up_costs,
-            self.ch_up_middle,
-        ) = _flatten_ch_rows(up_rows)
-        (
-            self.ch_down_indptr,
-            self.ch_down_indices,
-            self.ch_down_costs,
-            self.ch_down_middle,
-        ) = _flatten_ch_rows(down_rows)
+        self.ch_up_indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(
+            np.bincount(au[up_mask], minlength=n), out=self.ch_up_indptr[1:]
+        )
+        self.ch_up_indices = av[up_mask].astype(np.int32)
+        self.ch_up_costs = ac[up_mask]
+        self.ch_up_middle = am[up_mask]
+        down = ~up_mask
+        dorder = np.argsort(av[down] * n + au[down])  # rows by v, then u
+        self.ch_down_indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(
+            np.bincount(av[down], minlength=n), out=self.ch_down_indptr[1:]
+        )
+        self.ch_down_indices = au[down][dorder].astype(np.int32)
+        self.ch_down_costs = ac[down][dorder]
+        self.ch_down_middle = am[down][dorder]
         self._ch_up_lists = None
         self._ch_down_lists = None
         self._ch_middle_map = None
+        self._ch_kernel_table = None
 
     def set_ch(
         self,
@@ -990,6 +1315,7 @@ class CellGraph:
         self._ch_up_lists = None
         self._ch_down_lists = None
         self._ch_middle_map = None
+        self._ch_kernel_table = None
         return self
 
     def _ch_up(self):
@@ -1150,6 +1476,123 @@ class CellGraph:
         for a, b in zip(chain, chain[1:]):
             _ch_unpack(a, b, middles, path)
         return path, mu, expanded
+
+    # -- batch kernel ------------------------------------------------------
+
+    def find_paths_batch(self, pairs, method="ch"):
+        """Answer many ``(src, dst)`` cell-id queries in one call.
+
+        With the default ``"ch"`` method every non-degenerate pair runs
+        through the vectorised batch kernel
+        (:func:`repro.core.kernel.batch_ch_paths`): one NumPy frontier
+        sweep answers the whole batch instead of one Python heap loop
+        per query, with costs bit-equal to scalar CH.  Other methods
+        fall back to :meth:`find_path` per pair -- the scalar oracle
+        the property suite compares against.  Degenerate pairs
+        (missing endpoints, ``src == dst``, provably unreachable) are
+        short-circuited before any kernel work, exactly like
+        :meth:`find_path`.
+
+        Returns a list aligned with *pairs* of :class:`SearchResult`
+        (``expanded`` counts labelled nodes across both sweep
+        directions, the batch analogue of settled nodes) or ``None``.
+        """
+        if method not in SEARCH_METHODS:
+            raise ValueError(
+                f"unknown search method {method!r}; expected one of {SEARCH_METHODS}"
+            )
+        pairs = list(pairs)
+        KERNEL_BATCH_SIZE.observe(len(pairs))
+        started = perf_counter()
+        results = [None] * len(pairs)
+        lanes = []  # (batch position, src node, dst node) for the kernel
+        for i, (src, dst) in enumerate(pairs):
+            si = self.node_index(src)
+            di = self.node_index(dst)
+            if si < 0 or di < 0:
+                continue
+            if si == di:
+                cell = int(self.cells[si])
+                results[i] = SearchResult((cell,), 0.0, 0, method, (si,))
+                continue
+            if self._degenerate_unreachable(si, di):
+                continue
+            if method == "ch":
+                lanes.append((i, si, di))
+            else:
+                results[i] = self.find_path(src, dst, method)
+        if lanes:
+            self.ensure_ch()
+            kernel_started = perf_counter()
+            paths, costs, expanded, rounds = batch_ch_paths(
+                self._ch_kernel_tables(),
+                np.asarray([si for _, si, _ in lanes], dtype=np.int64),
+                np.asarray([di for _, _, di in lanes], dtype=np.int64),
+            )
+            KERNEL_SWEEP_ITERATIONS.observe(rounds)
+            # Each lane is one search: feed the scalar per-query series
+            # too (an equal share of the sweep), so dashboards keep
+            # counting searches when serving goes batch-native.
+            share = (perf_counter() - kernel_started) / len(lanes)
+            for (i, _, _), path, cost, exp in zip(lanes, paths, costs, expanded):
+                _SEARCH_SECONDS.observe(share, ("ch",))
+                if path is None:
+                    continue
+                _SEARCH_EXPANDED.observe(int(exp), ("ch",))
+                cells = tuple(self.cells[path].tolist())
+                results[i] = SearchResult(
+                    cells, float(cost), int(exp), "ch", tuple(path)
+                )
+        KERNEL_SECONDS.observe(perf_counter() - started)
+        return results
+
+    def _ch_kernel_tables(self):
+        """Preprocessed batch-kernel tables for this hierarchy (lazy).
+
+        Builds the sorted augmented-edge table -- flat ``u * n + v``
+        keys paired with middle nodes (-1 = original edge); every
+        augmented edge lives in exactly one of the two CSRs, so keys
+        are unique -- and hands it plus the raw CSRs to
+        :func:`repro.core.kernel.build_kernel_tables`, which derives
+        the combined sweep CSRs and precomputed shortcut expansions.
+        Cached until the hierarchy changes.
+        """
+        table = self._ch_kernel_table
+        if table is None:
+            with self._lock:
+                table = self._ch_kernel_table
+                if table is None:
+                    n = self.num_nodes
+                    up_src = np.repeat(
+                        np.arange(n, dtype=np.int64), np.diff(self.ch_up_indptr)
+                    )
+                    # Down row v holds incoming edges u -> v.
+                    down_dst = np.repeat(
+                        np.arange(n, dtype=np.int64), np.diff(self.ch_down_indptr)
+                    )
+                    keys = np.concatenate(
+                        [
+                            up_src * n + self.ch_up_indices,
+                            self.ch_down_indices.astype(np.int64) * n + down_dst,
+                        ]
+                    )
+                    vals = np.concatenate(
+                        [self.ch_up_middle, self.ch_down_middle]
+                    ).astype(np.int32)
+                    order = np.argsort(keys, kind="stable")
+                    table = build_kernel_tables(
+                        n,
+                        (self.ch_up_indptr, self.ch_up_indices, self.ch_up_costs),
+                        (
+                            self.ch_down_indptr,
+                            self.ch_down_indices,
+                            self.ch_down_costs,
+                        ),
+                        keys[order],
+                        vals[order],
+                    )
+                    self._ch_kernel_table = table
+        return table
 
 
 # -- CH module helpers -----------------------------------------------------

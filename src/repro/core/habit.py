@@ -469,6 +469,27 @@ class HabitImputer:
             self.graph.ensure_ch()
         return self.graph.find_path(src_node, dst_node, method)
 
+    def route_batch(self, pairs, method=None):
+        """Search many snapped ``(src, dst)`` node-cell pairs in one call.
+
+        The batch analogue of :meth:`route`: *method* defaults to
+        ``config.search``, and with the default ``"ch"`` every
+        non-degenerate pair is answered by one vectorised kernel sweep
+        (:meth:`repro.core.graph.CellGraph.find_paths_batch`) instead of
+        a Python heap loop per pair.  Returns a list aligned with
+        *pairs* of :class:`repro.core.graph.SearchResult` (or ``None``
+        for unreachable pairs) -- cost-identical to calling
+        :meth:`route` per pair, which is what the serving layer's batch
+        engine relies on when it caches the results individually.
+        """
+        self._require_fitted()
+        method = method or self.config.search
+        if method == "alt":
+            self.graph.ensure_landmarks(self.config.num_landmarks)
+        elif method == "ch":
+            self.graph.ensure_ch()
+        return self.graph.find_paths_batch(pairs, method)
+
     def render_path(self, start, end, result):
         """Project a search result into an :class:`ImputedPath`.
 

@@ -1,0 +1,575 @@
+"""Vectorised batch query kernel over contraction-hierarchy CSR arrays.
+
+The scalar CH query (:meth:`repro.core.graph.CellGraph._ch_query`)
+settles ~30 nodes per r10 query, so nearly all of its latency is
+CPython interpreter overhead in the heap/relaxation loop (~8 us per
+settled node).  This module removes the interpreter from the per-node
+path by answering *many* ``(src, dst)`` queries in one NumPy sweep:
+
+- **One combined bidirectional sweep.**  Upward CH edges go strictly to
+  higher-ranked nodes, so each directed search space is a DAG and a
+  label-correcting sweep converges without any priority queue.  Forward
+  and backward searches run as *one* sweep over a doubled node space:
+  lane ``q`` holds its forward labels at ``[0, n)`` and its backward
+  labels at ``[n, 2n)`` of the same row, seeded with both endpoints at
+  once.  Each round relaxes every outgoing edge of the active frontier
+  for all queries with one ``np.minimum.at`` scatter; rounds stop at
+  the fixpoint, after max(longest up chain, longest down chain) rounds
+  instead of their sum.
+- **Vectorised stall-on-demand.**  Before expanding, frontier entries
+  whose label a higher-ranked in-neighbour already beats are masked out
+  of the round (their labels are provably not on a shortest up-down
+  path), pruning the cones exactly like the scalar query's stall test.
+- **One argmin meet.**  Forward and backward label tables meet in a
+  single ``(dist_f + dist_b).argmin(axis=1)`` reduction per chunk.
+- **Precomputed shortcut expansions.**  ``build_kernel_tables`` unrolls
+  every augmented edge's full original-edge expansion once per
+  hierarchy (a CSR keyed by the sorted augmented-edge table), so
+  unpacking all result paths is one ``np.searchsorted`` plus one gather
+  -- O(total output nodes), with no per-path Python and no repeated
+  passes over nested shortcuts.
+
+Label values are the same left-associated float sums the scalar query
+computes (``label(parent) + edge_cost``, minimised over parents), and
+the stalled up-DAG fixpoint matches the scalar query's label set, so
+batch costs are *bit-equal* to the scalar CH query's -- the batch
+property suite asserts exactly that.
+
+The kernel is pure NumPy -- no graph imports (the graph layer calls in
+with raw arrays and builds ``SearchResult`` objects from the returned
+node paths), no new dependencies.  Batches are processed in chunks so
+the dense workspace stays bounded (see :data:`BATCH_CHUNK_CELLS`).
+
+Instrumentation (:mod:`repro.obs`): ``repro_kernel_batch_size`` (pairs
+per ``find_paths_batch`` call), ``repro_kernel_sweep_iterations``
+(relaxation rounds per chunk), and ``repro_kernel_seconds`` (kernel
+wall time per batch).
+"""
+
+from collections import namedtuple
+
+import numpy as np
+
+from repro.obs import COUNT_BUCKETS, METRICS
+
+__all__ = [
+    "BATCH_CHUNK_CELLS",
+    "KernelTables",
+    "batch_ch_paths",
+    "build_kernel_tables",
+    "initial_cut_counts",
+]
+
+#: Upper bound on ``chunk_queries * (2 * num_nodes)`` for the dense
+#: distance / parent workspace -- 2**21 cells keeps peak kernel memory
+#: around a few tens of MB while still fitting hundreds of queries per
+#: chunk on r10-sized graphs.  Larger batches run in chunks of this.
+BATCH_CHUNK_CELLS = 1 << 21
+
+KERNEL_BATCH_SIZE = METRICS.histogram(
+    "repro_kernel_batch_size",
+    "Query pairs per batch-kernel invocation.",
+    buckets=COUNT_BUCKETS,
+)
+KERNEL_SWEEP_ITERATIONS = METRICS.histogram(
+    "repro_kernel_sweep_iterations",
+    "Frontier relaxation rounds per batch-kernel chunk.",
+    buckets=COUNT_BUCKETS,
+)
+KERNEL_SECONDS = METRICS.histogram(
+    "repro_kernel_seconds",
+    "Batch-kernel wall time per invocation in seconds.",
+)
+
+_INF = np.inf
+
+#: Preprocessed per-hierarchy arrays consumed by :func:`batch_ch_paths`.
+#: ``relax_*``/``stall_*`` are the combined doubled-node-space CSRs
+#: (forward half relaxes upward edges and stalls on downward ones,
+#: backward half vice versa, offset by ``n``); ``mid_keys`` is the
+#: sorted augmented-edge key table (``u * n + v``) and
+#: ``exp_indptr``/``exp_nodes`` its per-edge original-node expansions.
+KernelTables = namedtuple(
+    "KernelTables",
+    [
+        "num_nodes",
+        "relax_indptr",
+        "relax_indices",
+        "relax_costs",
+        "stall_indptr",
+        "stall_indices",
+        "stall_costs",
+        "mid_keys",
+        "exp_indptr",
+        "exp_nodes",
+    ],
+)
+
+
+def _expand_ranges(starts, counts):
+    """Concatenated ``arange(start, start + count)`` blocks (CSR gather).
+
+    The standard vectorised trick: one global ``arange`` shifted per
+    block, so gathering every frontier node's edge slice costs O(total
+    edges) with no Python loop.
+    """
+    total = int(counts.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    ends = np.cumsum(counts)
+    out = np.arange(total, dtype=np.int64)
+    out += np.repeat(starts - (ends - counts), counts)
+    return out
+
+
+def _expand_all(mid_keys, mid_vals, n):
+    """Unroll every augmented edge into its original-edge node chain.
+
+    Iteratively splits each shortcut edge ``a -> b`` with middle ``m``
+    into ``a -> m, m -> b`` (both of which are themselves augmented
+    edges) until only original edges remain, processing *all* table
+    rows at once.  Returns ``(exp_indptr, exp_nodes)``: row ``i`` of
+    the CSR lists the path tail nodes (excluding the head) of edge
+    ``mid_keys[i]`` in order.
+    """
+    num = mid_keys.size
+    eid = np.arange(num, dtype=np.int64)
+    a = mid_keys // n
+    b = mid_keys - a * n
+    while num and a.size:
+        pos = np.minimum(np.searchsorted(mid_keys, a * n + b), num - 1)
+        key = a * n + b
+        mid = np.where(mid_keys[pos] == key, mid_vals[pos], -1)
+        shortcut = mid >= 0
+        if not shortcut.any():
+            break
+        rep = np.where(shortcut, 2, 1)
+        starts = np.cumsum(rep) - rep
+        na = np.repeat(a, rep)
+        nb = np.repeat(b, rep)
+        eid = np.repeat(eid, rep)
+        nb[starts[shortcut]] = mid[shortcut]  # first half: a -> mid
+        na[starts[shortcut] + 1] = mid[shortcut]  # second half: mid -> b
+        a, b = na, nb
+    counts = np.bincount(eid, minlength=num)
+    exp_indptr = np.zeros(num + 1, dtype=np.int64)
+    np.cumsum(counts, out=exp_indptr[1:])
+    return exp_indptr, b.astype(np.int32)
+
+
+def build_kernel_tables(n, up, down, mid_keys, mid_vals):
+    """Preprocess a hierarchy's CSRs for :func:`batch_ch_paths`.
+
+    *up*/*down* are the ``(indptr, indices, costs)`` upward and
+    downward shortcut CSRs (down row ``v`` lists in-neighbours ``u``
+    with higher rank and cost ``c(u, v)``); *mid_keys*/*mid_vals* the
+    sorted augmented-edge table mapping ``u * n + v`` to the shortcut's
+    middle node (``-1`` for original edges).
+
+    Builds the combined doubled-node-space CSRs -- rows ``[0, n)`` are
+    the forward search (relax upward, stall on downward), rows
+    ``[n, 2n)`` the backward search (relax downward, stall on upward,
+    indices offset by ``n``) -- plus the precomputed shortcut-expansion
+    CSR.  Called once per hierarchy; the graph layer caches the result.
+    """
+    up_indptr, up_indices, up_costs = up
+    down_indptr, down_indices, down_costs = down
+    up_indptr = np.asarray(up_indptr, dtype=np.int64)
+    down_indptr = np.asarray(down_indptr, dtype=np.int64)
+    relax_indptr = np.concatenate([up_indptr, up_indptr[-1] + down_indptr[1:]])
+    relax_indices = np.concatenate(
+        [up_indices.astype(np.int64), down_indices.astype(np.int64) + n]
+    )
+    relax_costs = np.concatenate([up_costs, down_costs])
+    stall_indptr = np.concatenate([down_indptr, down_indptr[-1] + up_indptr[1:]])
+    stall_indices = np.concatenate(
+        [down_indices.astype(np.int64), up_indices.astype(np.int64) + n]
+    )
+    stall_costs = np.concatenate([down_costs, up_costs])
+    exp_indptr, exp_nodes = _expand_all(mid_keys, mid_vals, n)
+    return KernelTables(
+        n,
+        relax_indptr,
+        relax_indices,
+        relax_costs,
+        stall_indptr,
+        stall_indices,
+        stall_costs,
+        mid_keys,
+        exp_indptr,
+        exp_nodes,
+    )
+
+
+def _sweep(tables, num_q, srcs, dsts):
+    """Combined forward+backward label-correcting sweep for a chunk.
+
+    Lane ``q`` owns ``2n`` cells: forward labels (from ``srcs[q]``,
+    following upward edges) in ``[0, 2n * q + n)`` and backward labels
+    (from ``dsts[q]``, following downward edges) in the upper half.
+    Returns ``(dist, parent, labelled, rounds)`` where *dist*/*parent*
+    are flat ``(num_q * 2n)`` workspaces (parent values are combined
+    node ids), *labelled* counts each lane's finite labels (the batch
+    analogue of the scalar ``expanded``), and *rounds* counts
+    relaxation iterations until the fixpoint.
+    """
+    n2 = 2 * tables.num_nodes
+    relax_indptr = tables.relax_indptr
+    relax_indices = tables.relax_indices
+    relax_costs = tables.relax_costs
+    stall_indptr = tables.stall_indptr
+    stall_indices = tables.stall_indices
+    stall_costs = tables.stall_costs
+    dist = np.full(num_q * n2, _INF)
+    parent = np.full(num_q * n2, -1, dtype=np.int32)
+    seen = np.zeros(num_q * n2, dtype=bool)
+    labelled = np.full(num_q, 2, dtype=np.int64)
+    qids = np.arange(num_q, dtype=np.int64)
+    fq = np.concatenate([qids, qids])
+    fv = np.concatenate([srcs, dsts + tables.num_nodes])
+    fkey = fq * n2 + fv
+    dist[fkey] = 0.0
+    seen[fkey] = True
+    rounds = 0
+    while fv.size:
+        rounds += 1
+        base = dist[fkey]
+        # Stall-on-demand: drop (query, node) pairs whose label a
+        # higher-ranked neighbour already beats.  Their labels stay
+        # (safe upper bounds for the meet); they simply stop
+        # propagating, exactly like the scalar stall test.
+        sdeg = stall_indptr[fv + 1] - stall_indptr[fv]
+        if sdeg.any():
+            eids = _expand_ranges(stall_indptr[fv], sdeg)
+            bound = (
+                dist[np.repeat(fq, sdeg) * n2 + stall_indices[eids]]
+                + stall_costs[eids]
+            )
+            hits = np.bincount(
+                np.repeat(np.arange(fv.size), sdeg),
+                weights=bound < np.repeat(base, sdeg),
+                minlength=fv.size,
+            )
+            keep = hits == 0
+            if not keep.all():
+                fq, fv, base = fq[keep], fv[keep], base[keep]
+                if not fv.size:
+                    break
+        deg = relax_indptr[fv + 1] - relax_indptr[fv]
+        eids = _expand_ranges(relax_indptr[fv], deg)
+        if not eids.size:
+            break
+        key = np.repeat(fq, deg) * n2 + relax_indices[eids]
+        nd = np.repeat(base, deg) + relax_costs[eids]
+        before = dist[key]
+        np.minimum.at(dist, key, nd)
+        after = dist[key]
+        improved = after < before
+        # A candidate "wins" its key when it equals the post-scatter
+        # minimum; duplicate winners are cost ties, either parent is a
+        # valid shortest-path predecessor.
+        winners = improved & (nd == after)
+        parent[key[winners]] = np.repeat(fv, deg)[winners]
+        # Sort + adjacent-compare dedup of the improved keys (same
+        # result as ``np.unique`` at a fraction of the cost).
+        fkey = key[improved]
+        if fkey.size:
+            fkey.sort(kind="stable")
+            mask = np.empty(fkey.size, dtype=bool)
+            mask[0] = True
+            np.not_equal(fkey[1:], fkey[:-1], out=mask[1:])
+            fkey = fkey[mask]
+        fq = fkey // n2
+        fv = fkey - fq * n2
+        fresh = ~seen[fkey]
+        if fresh.any():
+            seen[fkey[fresh]] = True
+            labelled += np.bincount(fq[fresh], minlength=num_q)
+    return dist, parent, labelled, rounds
+
+
+def _trace_steps(parent, n2, qids, start):
+    """Walk many queries' parent chains in lock-step.
+
+    Returns a list of per-round node arrays (all ``qids.size`` long):
+    ``steps[k][j]`` is query ``j``'s ``k``-th ancestor, ``-1`` once its
+    chain is exhausted.  Each round is one vectorised gather, so the
+    cost is O(longest chain), not O(total nodes) Python steps.
+    """
+    steps = []
+    qn = qids * n2
+    cur = start
+    while True:
+        steps.append(cur)
+        nxt = np.where(
+            cur >= 0, parent[qn + np.maximum(cur, 0)].astype(np.int64), -1
+        )
+        if not (nxt >= 0).any():
+            break
+        cur = nxt
+    return steps
+
+
+def _unpack_edges(tables, qid, a, b):
+    """Expand augmented path edges via the precomputed expansion table.
+
+    ``qid``/``a``/``b`` are parallel arrays of augmented edges in path
+    order (query-major).  One ``searchsorted`` finds each edge's row in
+    the expansion CSR; one gather emits every original tail node.
+    Edges absent from the table pass through unchanged (they can only
+    be original edges, mirroring the scalar unpack's ``.get(..., -1)``).
+    """
+    mid_keys = tables.mid_keys
+    if not mid_keys.size or not a.size:
+        return qid, b
+    n = tables.num_nodes
+    key = a * n + b
+    pos = np.minimum(np.searchsorted(mid_keys, key), mid_keys.size - 1)
+    present = mid_keys[pos] == key
+    counts = np.where(present, tables.exp_indptr[pos + 1] - tables.exp_indptr[pos], 1)
+    eids = _expand_ranges(np.where(present, tables.exp_indptr[pos], 0), counts)
+    tails = tables.exp_nodes[eids].astype(np.int64)
+    # Rows that fell through (absent keys) gathered garbage; overwrite
+    # with the edge's own tail.
+    if not present.all():
+        starts = np.cumsum(counts) - counts
+        tails[starts[~present]] = b[~present]
+    return np.repeat(qid, counts), tails
+
+
+def batch_ch_paths(tables, srcs, dsts):
+    """Answer ``len(srcs)`` CH queries with one vectorised sweep each chunk.
+
+    *tables* comes from :func:`build_kernel_tables`; *srcs*/*dsts* are
+    valid, pairwise-distinct node indices (the graph layer
+    short-circuits degenerate pairs first).
+
+    Returns ``(paths, costs, expanded, rounds)``: per-query node-index
+    lists (``None`` when unreachable), bit-equal-to-scalar-CH float
+    costs, per-query labelled-node counts (the batch analogue of the
+    scalar ``expanded``), and total relaxation rounds across chunks.
+    """
+    n = tables.num_nodes
+    n2 = 2 * n
+    srcs = np.asarray(srcs, dtype=np.int64)
+    dsts = np.asarray(dsts, dtype=np.int64)
+    num = len(srcs)
+    paths = [None] * num
+    costs = np.full(num, _INF)
+    expanded = np.zeros(num, dtype=np.int64)
+    total_rounds = 0
+    chunk = max(1, BATCH_CHUNK_CELLS // max(n2, 1))
+    for lo in range(0, num, chunk):
+        hi = min(lo + chunk, num)
+        q = hi - lo
+        dist, parent, labelled, rounds = _sweep(
+            tables, q, srcs[lo:hi], dsts[lo:hi]
+        )
+        total_rounds += rounds
+        table = dist.reshape(q, n2)
+        total = table[:, :n] + table[:, n:]
+        meets = np.argmin(total, axis=1)
+        chunk_costs = total[np.arange(q), meets]
+        rq = np.flatnonzero(np.isfinite(chunk_costs))
+        if not rq.size:
+            continue
+        meets_r = meets[rq].astype(np.int64)
+        # Trace all reachable queries' parent chains in lock-step (one
+        # gather per chain hop); forward chains walk from the meet back
+        # to the source, backward chains live in the upper half of the
+        # combined node space.
+        fsteps = _trace_steps(parent, n2, rq, meets_r)
+        bsteps = _trace_steps(parent, n2, rq, meets_r + n)[1:]
+        fcols = [s.tolist() for s in fsteps]
+        bcols = [s.tolist() for s in bsteps]
+        flat_q, flat_a, flat_b = [], [], []
+        firsts = []
+        for j in range(rq.size):
+            chain = [c[j] for c in reversed(fcols) if c[j] >= 0]
+            chain += [c[j] - n for c in bcols if c[j] >= 0]
+            firsts.append(chain[0])
+            flat_q.extend([j] * (len(chain) - 1))
+            flat_a.extend(chain[:-1])
+            flat_b.extend(chain[1:])
+        qid, tail = _unpack_edges(
+            tables,
+            np.asarray(flat_q, dtype=np.int64),
+            np.asarray(flat_a, dtype=np.int64),
+            np.asarray(flat_b, dtype=np.int64),
+        )
+        counts = np.bincount(qid, minlength=rq.size)
+        bounds = np.cumsum(counts)
+        tail = tail.tolist()
+        for j, i in enumerate(rq.tolist()):
+            seg = tail[bounds[j] - counts[j] : bounds[j]]
+            paths[lo + i] = [firsts[j], *seg]
+            costs[lo + i] = chunk_costs[i]
+            expanded[lo + i] = labelled[i]
+    return paths, costs, expanded, total_rounds
+
+
+def _directed_csr(n, src, dst, cost):
+    """CSR over *src*-major edge arrays (rows sorted, stable order)."""
+    order = np.argsort(src, kind="stable")
+    indptr = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(np.bincount(src, minlength=n), out=indptr[1:])
+    return indptr, dst[order], cost[order]
+
+
+def initial_cut_counts(n, indptr, indices, costs, rtol, return_cuts=False):
+    """Witnessed shortcut counts for every node of the *original* graph.
+
+    The CH contraction loop seeds its priority heap with one exact
+    witness evaluation per node -- a third of all witness searches,
+    every one running against the same pristine overlay.  This computes
+    the identical counts vectorised: one bounded multi-lane
+    label-correcting sweep, one lane per (node, min-side neighbour)
+    pair, with per-lane skip-node masking and distance limits.
+
+    Exactness: the scalar witness search settles in distance order, so
+    by the time it terminates every target within the limit holds its
+    final label -- the same min-plus fixpoint over left-associated
+    float sums the sweep converges to (the settle cap never binds on
+    the pristine overlay's small neighbourhoods, and labels beyond
+    ``limit * (1 + rtol)`` fail every witness comparison in both
+    implementations).  The per-node counts are therefore equal to the
+    scalar pass's.
+
+    *indptr*/*indices*/*costs* are the graph's raw adjacency CSR;
+    parallel edges are deduplicated to the cheapest and self-loops
+    dropped, exactly like the contraction overlay.  Returns an int64
+    count per node (0 where either side of the neighbourhood is empty).
+    With ``return_cuts=True`` returns ``(counts, (w, u, v, through))``
+    -- the witnessed shortcut triples themselves, so the contraction
+    loop can reuse them verbatim for nodes whose neighbourhood is still
+    pristine when they reach the top of the heap.
+    """
+    counts = np.zeros(n, dtype=np.int64)
+    empty = np.empty(0, dtype=np.int64)
+    no_cuts = (empty, empty, empty, np.empty(0, dtype=np.float64))
+    if n == 0 or len(indices) == 0:
+        return (counts, no_cuts) if return_cuts else counts
+    tol = 1.0 + rtol
+    # Dedup to the cheapest parallel edge, self-loop-free.
+    u = np.repeat(np.arange(n, dtype=np.int64), np.diff(indptr))
+    v = np.asarray(indices, dtype=np.int64)
+    c = np.asarray(costs, dtype=np.float64)
+    keep = u != v
+    u, v, c = u[keep], v[keep], c[keep]
+    if not u.size:
+        return (counts, no_cuts) if return_cuts else counts
+    key = u * n + v
+    order = np.lexsort((c, key))
+    key, u, v, c = key[order], u[order], v[order], c[order]
+    first = np.ones(key.size, dtype=bool)
+    first[1:] = key[1:] != key[:-1]
+    u, v, c = u[first], v[first], c[first]
+    out_indptr, out_idx, out_cost = _directed_csr(n, u, v, c)
+    in_indptr, in_idx, in_cost = _directed_csr(n, v, u, c)
+    out_deg = np.diff(out_indptr)
+    in_deg = np.diff(in_indptr)
+    both = (out_deg > 0) & (in_deg > 0)
+    fwd = both & (in_deg <= out_deg)
+    bwd = both & ~fwd
+    chunk = max(1, BATCH_CHUNK_CELLS // n)
+    dist = np.full(chunk * n, _INF)  # shared workspace, reset per chunk
+    cut_parts = []  # (w, u, v, through) arrays per side when return_cuts
+
+    def side(ws, src, tgt, relax, tgt_is_out):
+        """Count cuts for nodes *ws* whose witness searches start on the
+        *src* side (one lane per source neighbour), probe *tgt*-side
+        pairs, and relax over the *relax* CSR."""
+        src_indptr, src_idx, src_cost = src
+        tgt_indptr, tgt_idx, tgt_cost = tgt
+        relax_indptr, relax_idx, relax_cost = relax
+        ldeg = src_indptr[ws + 1] - src_indptr[ws]
+        lane_w = np.repeat(ws, ldeg)
+        eids = _expand_ranges(src_indptr[ws], ldeg)
+        lane_src = src_idx[eids].astype(np.int64)
+        lane_scost = src_cost[eids]
+        # Per-node max target cost bounds each lane's search radius,
+        # matching the scalar ``limit = c(src) + max(target costs)``.
+        tdeg = tgt_indptr[ws + 1] - tgt_indptr[ws]
+        teids = _expand_ranges(tgt_indptr[ws], tdeg)
+        maxt = np.full(ws.size, -_INF)
+        np.maximum.at(maxt, np.repeat(np.arange(ws.size), tdeg), tgt_cost[teids])
+        lane_limit = (lane_scost + np.repeat(maxt, ldeg)) * tol
+        # Every (lane, target) pair, minus the source itself.
+        lane_wpos = np.repeat(np.arange(ws.size), ldeg)
+        ptdeg = tdeg[lane_wpos]
+        pair_lane = np.repeat(np.arange(lane_w.size, dtype=np.int64), ptdeg)
+        pteids = _expand_ranges(tgt_indptr[lane_w], ptdeg)
+        pair_v = tgt_idx[pteids].astype(np.int64)
+        pair_through = lane_scost[pair_lane] + tgt_cost[pteids]
+        keep = pair_v != lane_src[pair_lane]
+        pair_lane = pair_lane[keep]
+        pair_v = pair_v[keep]
+        pair_through = pair_through[keep]
+        num_lanes = lane_w.size
+        pair_label = np.full(pair_lane.size, _INF)
+        bounds = np.searchsorted(
+            pair_lane, np.arange(0, num_lanes + chunk, chunk)
+        )
+        for ci, lo in enumerate(range(0, num_lanes, chunk)):
+            hi = min(lo + chunk, num_lanes)
+            skip = lane_w[lo:hi]
+            limit = lane_limit[lo:hi]
+            fl = np.arange(hi - lo, dtype=np.int64)
+            fv = lane_src[lo:hi].copy()
+            fkey = fl * n + fv
+            dist[fkey] = 0.0
+            touched = [fkey]
+            while fv.size:
+                base = dist[fkey]
+                deg = relax_indptr[fv + 1] - relax_indptr[fv]
+                eids2 = _expand_ranges(relax_indptr[fv], deg)
+                if not eids2.size:
+                    break
+                cl = np.repeat(fl, deg)
+                cv = relax_idx[eids2].astype(np.int64)
+                nd = np.repeat(base, deg) + relax_cost[eids2]
+                ok = (cv != skip[cl]) & (nd <= limit[cl])
+                cl, cv, nd = cl[ok], cv[ok], nd[ok]
+                key = cl * n + cv
+                before = dist[key]
+                np.minimum.at(dist, key, nd)
+                after = dist[key]
+                fkey = key[after < before]
+                if fkey.size:
+                    fkey.sort(kind="stable")
+                    mask = np.empty(fkey.size, dtype=bool)
+                    mask[0] = True
+                    np.not_equal(fkey[1:], fkey[:-1], out=mask[1:])
+                    fkey = fkey[mask]
+                    touched.append(fkey)
+                fl = fkey // n
+                fv = fkey - fl * n
+            s, e = bounds[ci], bounds[ci + 1]
+            pl = pair_lane[s:e] - lo
+            pair_label[s:e] = dist[pl * n + pair_v[s:e]]
+            dist[np.concatenate(touched)] = _INF
+        cut = pair_label > pair_through * tol
+        np.add.at(counts, lane_w[pair_lane[cut]], 1)
+        if return_cuts:
+            ends_a = lane_src[pair_lane[cut]]  # the search-source side
+            ends_b = pair_v[cut]  # the probed target side
+            cu, cv = (ends_a, ends_b) if tgt_is_out else (ends_b, ends_a)
+            cut_parts.append(
+                (lane_w[pair_lane[cut]], cu, cv, pair_through[cut])
+            )
+
+    out = (out_indptr, out_idx, out_cost)
+    rev = (in_indptr, in_idx, in_cost)
+    if fwd.any():
+        side(np.flatnonzero(fwd).astype(np.int64), rev, out, out, True)
+    if bwd.any():
+        side(np.flatnonzero(bwd).astype(np.int64), out, rev, rev, False)
+    if not return_cuts:
+        return counts
+    if cut_parts:
+        cuts = tuple(
+            np.concatenate([p[i] for p in cut_parts]) for i in range(4)
+        )
+    else:
+        cuts = no_cuts
+    return counts, cuts

@@ -1,33 +1,40 @@
-"""Batch imputation engine: many gap requests, one model resolution each.
+"""Batch imputation engine: many gap requests, one kernel sweep per model.
 
 The engine is the service's query executor.  A batch is grouped by
 ``(dataset, typed)`` so each model -- plain or typed -- is resolved
 through the registry exactly once (one cache probe / disk load / fit per
-model, however many gaps ride on it), then the per-gap imputations fan
-out over an executor.
+model, however many gaps ride on it).  Execution is **batch-native**:
+every request snaps its endpoints and probes the path cache, the
+remaining cache misses are deduplicated (see request coalescing below)
+and grouped by resolved class graph, and each group runs through one
+:meth:`repro.core.habit.HabitImputer.route_batch` call -- a single
+vectorised CH kernel sweep (:mod:`repro.core.kernel`) answers the whole
+group instead of one Python heap loop per request.  Per-request
+``expanded``/cost/latency still land in provenance individually.
 
 Two executors are available (``executor=`` at construction, recorded in
 every result's provenance):
 
-- ``"thread"`` (default) -- a :class:`~concurrent.futures.ThreadPoolExecutor`.
-  Fitted imputers are read-only, so concurrent ``impute`` calls on one
-  model are safe; single-request batches skip the pool entirely.  The
-  right choice for latency-sensitive serving: no serialisation, shared
-  path cache, models resolved once per process.
+- ``"thread"`` (default) -- in-process execution.  Fitted imputers are
+  read-only, so the whole batch runs on the request thread: snap and
+  render are cheap Python, and the search itself is one NumPy kernel
+  call per model.  The right choice for latency-sensitive serving: no
+  serialisation, shared path cache, models resolved once per process.
 - ``"process"`` -- a persistent
   :class:`~concurrent.futures.ProcessPoolExecutor`.  CPU-bound batches
   (long searches, many gaps) escape the GIL by fanning contiguous slices
-  of the batch across worker processes.  Workers resolve models from the
-  registry *directory* (the registry's files-are-the-contract property)
-  into a per-process cache, so models cross the process boundary via the
-  filesystem once, never per task.  The parent probes every model
-  before dispatch -- a warm cache entry or a cheap file-revision peek;
-  only a genuine miss pays a full resolution (fit-on-miss / corrupt
-  semantics included) -- so unresolvable models fail before any work is
-  sent without the parent loading graphs only workers will query.
-  Worker-side provenance reflects the worker's own cache tiers (first
-  batch: ``"load"``), and the imputed paths are identical to the thread
-  executor's.
+  of the batch across worker processes; each worker slice is itself
+  batch-native (one kernel call per model per slice).  Workers resolve
+  models from the registry *directory* (the registry's
+  files-are-the-contract property) into a per-process cache, so models
+  cross the process boundary via the filesystem once, never per task.
+  The parent probes every model before dispatch -- a warm cache entry or
+  a cheap file-revision peek; only a genuine miss pays a full resolution
+  (fit-on-miss / corrupt semantics included) -- so unresolvable models
+  fail before any work is sent without the parent loading graphs only
+  workers will query.  Worker-side provenance reflects the worker's own
+  cache tiers (first batch: ``"load"``), and the imputed paths are
+  identical to the thread executor's.
 
 On top of the model cache sits a **snap-and-path LRU cache**: hub-to-hub
 queries from large fleets mostly repeat, and a route depends only on the
@@ -39,17 +46,24 @@ per-route ``expanded`` count rides into provenance either way.)
 Each request snaps its endpoints (memoized per graph), then looks up the
 search result under ``(model id, class tag, revision, snapped src,
 snapped dst)``; a hit renders the cached route without touching the
-search heap at all.  ``revision`` in the key makes incremental refreshes
-self-invalidating, and negative results (no route) are cached too.
-Process-pool workers each hold their own path cache, which persists
-across batches for the life of the pool.
+search kernel at all.  ``revision`` in the key makes incremental
+refreshes self-invalidating, and negative results (no route) are cached
+too.  Process-pool workers each hold their own path cache, which
+persists across batches for the life of the pool.
+
+**Request coalescing:** identical ``(model id, class tag, snapped src,
+snapped dst)`` routes within one batch are searched once.  The first
+requester records path-cache tier ``"miss"``; every other rider on the
+same route records ``"coalesced"`` and is fanned the single result --
+large fleet batches converging on hub pairs pay one kernel lane, not N.
 
 Every result carries :class:`repro.service.schema.Provenance`: which
 model answered, how it was obtained (cache hit / disk load / fit), the
-path-cache tier (``hit``/``miss``/``bypass``), the executor that ran the
-request (``thread``/``process``), the routing method actually used
-(including the straight-line fallback flag), nodes expanded by the
-search, the metric path length, and per-request wall-clock latency.
+path-cache tier (``hit``/``miss``/``coalesced``/``bypass``), the
+executor that ran the request (``thread``/``process``), the routing
+method actually used (including the straight-line fallback flag), nodes
+expanded by the search, the metric path length, and per-request
+wall-clock latency.
 """
 
 import multiprocessing
@@ -57,7 +71,7 @@ import os
 import threading
 import time
 from collections import OrderedDict
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import ProcessPoolExecutor
 
 from repro.core import HabitConfig
 from repro.geo.proj import path_length_m
@@ -193,21 +207,7 @@ class BatchImputationEngine:
                 models[key] = self.registry.get(
                     request.dataset, config, typed=request.typed
                 )
-        if len(requests) <= 1:
-            return [
-                self._impute_one(models[(r.dataset.upper(), r.typed)], r, "thread")
-                for r in requests
-            ]
-        workers = min(self.max_workers, len(requests))
-        with ThreadPoolExecutor(max_workers=workers) as pool:
-            return list(
-                pool.map(
-                    lambda r: self._impute_one(
-                        models[(r.dataset.upper(), r.typed)], r, "thread"
-                    ),
-                    requests,
-                )
-            )
+        return self._run_batched(models, requests, "thread")
 
     def _run_process(self, requests, config):
         """Fan contiguous slices of the batch across the worker pool.
@@ -290,8 +290,8 @@ class BatchImputationEngine:
         }
 
     def _run_serial(self, requests, config, label):
-        """Resolve-once + sequential impute; the worker-side half of
-        process mode (one worker is single-threaded by design)."""
+        """Resolve-once + batched impute; the worker-side half of process
+        mode (one worker slice is one batch by design)."""
         models = {}
         for request in requests:
             key = (request.dataset.upper(), request.typed)
@@ -299,72 +299,122 @@ class BatchImputationEngine:
                 models[key] = self.registry.get(
                     request.dataset, config, typed=request.typed
                 )
-        return [
-            self._impute_one(models[(r.dataset.upper(), r.typed)], r, label)
-            for r in requests
-        ]
+        return self._run_batched(models, requests, label)
 
-    def _route_cached(self, imputer, model_id, request):
-        """Snap, probe the path cache, search on miss.
+    def _run_batched(self, models, requests, label):
+        """Execute one batch: snap + cache-probe per request, one kernel
+        sweep per resolved class graph for the misses, render per request.
 
-        Returns ``(path, tier)`` where *tier* is the path-cache tier for
-        provenance.  Falls back to the plain ``impute`` call (tier
-        ``"bypass"``) when caching is disabled or the model exposes no
-        snap/route/render stages.
+        Coalescing happens between the probe and the sweep: requests
+        sharing a full cache key ride one search lane; the first records
+        tier ``"miss"``, the rest ``"coalesced"``.  With the path cache
+        disabled nothing is deduplicated (every request provably pays
+        its own search lane, tier ``"bypass"``), and models without the
+        snap/route/render stages fall back to their scalar ``impute``.
+        Per-request latency charges each rider its snap/probe/render
+        time plus an equal share of its group's kernel call.
         """
-        class_tag = ""
-        plain = imputer
-        if request.typed:
-            resolver = getattr(imputer, "resolve", None)
-            if resolver is None:
-                plain = None
-            else:
-                plain, class_tag = resolver(request.vessel_type)
-        if (
-            self.path_cache is None
-            or plain is None
-            or not hasattr(plain, "snap_endpoints")
-        ):
+        paths = [None] * len(requests)
+        tiers = [None] * len(requests)
+        elapsed = [0.0] * len(requests)
+        #: cache key -> [plain imputer, (src, dst), first result, rider idxs]
+        lanes = {}
+        groups = {}  # id(plain imputer) -> (plain, [lane keys])
+        for i, request in enumerate(requests):
+            started = time.perf_counter()
+            imputer, model_id, _ = models[(request.dataset.upper(), request.typed)]
+            class_tag = ""
+            plain = imputer
             if request.typed:
-                return imputer.impute(request.start, request.end, request.vessel_type), "bypass"
-            return imputer.impute(request.start, request.end), "bypass"
-        snapped = plain.snap_endpoints(request.start, request.end)
-        if snapped is None:  # out-of-coverage: straight line, nothing to cache
-            return plain.render_path(request.start, request.end, None), "bypass"
-        key = (model_id, class_tag, plain.revision, snapped[0], snapped[1])
-        result = self.path_cache.get(key)
-        if result is _MISSING:
-            result = plain.route(snapped[0], snapped[1])
-            self.path_cache.put(key, result)
-            tier = "miss"
-        else:
-            tier = "hit"
-        return plain.render_path(request.start, request.end, result), tier
-
-    def _impute_one(self, resolved, request, executor_label):
-        imputer, model_id, source = resolved
-        started = time.perf_counter()
-        path, path_tier = self._route_cached(imputer, model_id, request)
-        elapsed = time.perf_counter() - started
-        elapsed_ms = elapsed * 1e3
-        _PATH_CACHE_TOTAL.inc(1, (path_tier,))
-        _IMPUTE_SECONDS.observe(elapsed, (executor_label,))
-        provenance = Provenance(
-            model_id=model_id,
-            cache=source,
-            method=path.method,
-            fallback=path.method == "fallback",
-            num_cells=len(path.cells),
-            path_length_m=float(path_length_m(path.lats, path.lngs)),
-            elapsed_ms=elapsed_ms,
-            revision=getattr(imputer, "revision", 1),
-            path_cache=path_tier,
-            expanded=path.expanded,
-            executor=executor_label,
-        )
-        return ImputeResult(
-            request=request, lats=path.lats, lngs=path.lngs, provenance=provenance
-        )
+                resolver = getattr(imputer, "resolve", None)
+                if resolver is None:
+                    plain = None
+                else:
+                    plain, class_tag = resolver(request.vessel_type)
+            if plain is None or not hasattr(plain, "route_batch"):
+                if request.typed:
+                    paths[i] = imputer.impute(
+                        request.start, request.end, request.vessel_type
+                    )
+                else:
+                    paths[i] = imputer.impute(request.start, request.end)
+                tiers[i] = "bypass"
+            else:
+                snapped = plain.snap_endpoints(request.start, request.end)
+                if snapped is None:
+                    # Out-of-coverage: straight line, nothing to cache.
+                    paths[i] = plain.render_path(request.start, request.end, None)
+                    tiers[i] = "bypass"
+                else:
+                    key = (model_id, class_tag, plain.revision, *snapped)
+                    if self.path_cache is None:
+                        # Cache off: per-request lanes, no dedupe.
+                        lanes[(key, i)] = [plain, snapped, None, [i]]
+                        tiers[i] = "bypass"
+                        groups.setdefault(id(plain), (plain, []))[1].append((key, i))
+                    elif key in lanes:
+                        lanes[key][3].append(i)
+                        tiers[i] = "coalesced"
+                    else:
+                        result = self.path_cache.get(key)
+                        if result is _MISSING:
+                            lanes[key] = [plain, snapped, None, [i]]
+                            tiers[i] = "miss"
+                            groups.setdefault(id(plain), (plain, []))[1].append(key)
+                        else:
+                            paths[i] = plain.render_path(
+                                request.start, request.end, result
+                            )
+                            tiers[i] = "hit"
+            elapsed[i] = time.perf_counter() - started
+        for plain, keys in groups.values():
+            started = time.perf_counter()
+            results = plain.route_batch([lanes[key][1] for key in keys])
+            share = (time.perf_counter() - started) / max(
+                1, sum(len(lanes[key][3]) for key in keys)
+            )
+            for key, result in zip(keys, results):
+                lane = lanes[key]
+                lane[2] = result
+                if self.path_cache is not None:
+                    self.path_cache.put(key, result)
+                for i in lane[3]:
+                    elapsed[i] += share
+        for lane in lanes.values():
+            plain, _, result, riders = lane
+            for i in riders:
+                started = time.perf_counter()
+                request = requests[i]
+                paths[i] = plain.render_path(request.start, request.end, result)
+                elapsed[i] += time.perf_counter() - started
+        out = []
+        for i, request in enumerate(requests):
+            imputer, model_id, source = models[(request.dataset.upper(), request.typed)]
+            path = paths[i]
+            _PATH_CACHE_TOTAL.inc(1, (tiers[i],))
+            _IMPUTE_SECONDS.observe(elapsed[i], (label,))
+            provenance = Provenance(
+                model_id=model_id,
+                cache=source,
+                method=path.method,
+                fallback=path.method == "fallback",
+                num_cells=len(path.cells),
+                path_length_m=float(path_length_m(path.lats, path.lngs)),
+                elapsed_ms=elapsed[i] * 1e3,
+                revision=getattr(imputer, "revision", 1),
+                path_cache=tiers[i],
+                expanded=path.expanded,
+                executor=label,
+            )
+            out.append(
+                ImputeResult(
+                    request=request,
+                    lats=path.lats,
+                    lngs=path.lngs,
+                    provenance=provenance,
+                )
+            )
+        return out
 
 
 # -- process-pool worker side ---------------------------------------------

@@ -61,8 +61,10 @@ class Provenance:
     ``"load"`` (read from the registry directory) or ``"fit"`` (fitted on
     miss).  ``path_cache`` records the engine's snap-and-path cache tier
     for the *route*: ``"hit"`` (answered without touching the search
-    heap), ``"miss"`` (searched, now cached) or ``"bypass"`` (uncacheable
-    -- snap fallback or cache disabled).  ``expanded`` is the number of
+    kernel), ``"miss"`` (searched, now cached), ``"coalesced"`` (an
+    identical route earlier in the same batch was searched once and this
+    request rode the same kernel lane) or ``"bypass"`` (uncacheable --
+    snap fallback or cache disabled).  ``expanded`` is the number of
     nodes the search that produced the route settled (0 for straight
     lines; preserved on cache hits even though the heap wasn't touched),
     so search quality is observable per served response -- with the

@@ -69,6 +69,46 @@ def test_projection_modes_differ(tiny_kiel, gap):
     assert r_center.num_points >= 2 and r_median.num_points >= 2
 
 
+def test_route_batch_matches_scalar_route(fitted, tiny_kiel):
+    gaps = tiny_kiel.gaps(3600.0)
+    pairs = [fitted.snap_endpoints(g.start, g.end) for g in gaps]
+    pairs = [p for p in pairs if p is not None]
+    assert pairs
+    # Repeat the batch so it exercises duplicate lanes too.
+    pairs = pairs * 2
+    batch = fitted.route_batch(pairs)
+    assert len(batch) == len(pairs)
+    for (src, dst), result in zip(pairs, batch):
+        scalar = fitted.route(src, dst)
+        assert (result is None) == (scalar is None)
+        if result is not None:
+            assert result.cost == scalar.cost
+            assert result.cells == scalar.cells
+
+
+def test_typed_route_batch_splits_per_class(tiny_kiel):
+    typed = TypedHabitImputer(
+        HabitConfig(resolution=9, tolerance_m=100.0), min_group_rows=100
+    ).fit_from_trips(tiny_kiel.train)
+    gaps = tiny_kiel.gaps(3600.0)
+    classes = [*typed.fitted_groups, None, "submarine"]  # known, fallback x2
+    items = []
+    for i, gap in enumerate(gaps * 2):
+        vessel_type = classes[i % len(classes)]
+        imputer, _ = typed.resolve(vessel_type)
+        snapped = imputer.snap_endpoints(gap.start, gap.end)
+        if snapped is not None:
+            items.append((snapped[0], snapped[1], vessel_type))
+    assert items
+    batch = typed.route_batch(items)
+    for (src, dst, vessel_type), result in zip(items, batch):
+        imputer, _ = typed.resolve(vessel_type)
+        scalar = imputer.route(src, dst)
+        assert (result is None) == (scalar is None)
+        if result is not None:
+            assert result.cost == scalar.cost and result.cells == scalar.cells
+
+
 def test_dijkstra_equals_astar_cost(fitted, gap):
     with_h = fitted.impute(gap.start, gap.end, use_heuristic=True)
     without = fitted.impute(gap.start, gap.end, use_heuristic=False)

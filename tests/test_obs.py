@@ -336,7 +336,8 @@ def test_process_worker_metrics_merge_into_parent(registry, service_model, tiny_
     assert impute[("process",)]["count"] == 6
     cache = _series(delta, "repro_path_cache_total")
     assert cache.get(("miss",), 0) >= 1  # first route searched in the worker
-    assert cache.get(("hit",), 0) >= 4  # repeats + the whole warm batch
+    assert cache.get(("coalesced",), 0) >= 2  # in-batch repeats share one lane
+    assert cache.get(("hit",), 0) >= 3  # the whole warm batch
     search = _series(delta, "repro_search_seconds")
     assert sum(s["count"] for s in search.values()) >= 1
     # The worker's own registry load surfaced too.

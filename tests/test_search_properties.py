@@ -62,6 +62,31 @@ def _check_query(graph, src, dst, context):
         )
 
 
+def _check_batch(graph, pairs, context):
+    """The batch kernel agrees with the scalar oracles on *pairs*.
+
+    Bit-equal costs vs scalar CH (same hierarchy, same relaxation
+    order), Dijkstra-equal to float tolerance, valid adjacency-oracle
+    paths, and identical unreachable verdicts.
+    """
+    batch = graph.find_paths_batch(pairs)
+    assert len(batch) == len(pairs), context
+    for (src, dst), result in zip(pairs, batch):
+        where = f"batch {src}->{dst} ({context})"
+        ch = graph.find_path(src, dst, "ch")
+        dijkstra = graph.find_path(src, dst, "dijkstra")
+        assert (ch is None) == (dijkstra is None)
+        if dijkstra is None:
+            assert result is None, f"{where}: unreachable verdict disagrees"
+            continue
+        assert result is not None, f"{where}: unreachable verdict disagrees"
+        assert result.cost == ch.cost, f"{where}: not bit-equal to scalar CH"
+        assert result.cost == pytest.approx(dijkstra.cost, rel=1e-9), where
+        assert result.cells[0] == src and result.cells[-1] == dst, where
+        assert _path_cost(graph, result) == pytest.approx(result.cost, rel=1e-9), where
+        assert result.method == "ch" and result.expanded >= 0, where
+
+
 @pytest.mark.parametrize(
     "topology,draws", _PLAN, ids=[topology for topology, _ in _PLAN]
 )
@@ -82,6 +107,30 @@ def test_variants_agree_across_random_topologies(topology, draws):
             _check_query(
                 graph, src, dst, f"topology={topology} seed={seed} {src}->{dst}"
             )
+        _check_batch(graph, pairs, f"topology={topology} seed={seed}")
+
+
+def test_batch_results_are_permutation_invariant():
+    """Shuffling a batch only shuffles the results: each pair's path is
+    independent of its batch position and of its co-batched pairs."""
+    for topology in ("uniform", "lane", "multi_component"):
+        rng = np.random.default_rng(321)
+        graph = random_graph(rng, topology)
+        nodes = graph.cells
+        pairs = [
+            tuple(int(c) for c in rng.choice(nodes, 2)) for _ in range(24)
+        ]
+        baseline = graph.find_paths_batch(pairs)
+        order = rng.permutation(len(pairs))
+        shuffled = graph.find_paths_batch([pairs[i] for i in order])
+        for pos, i in enumerate(order):
+            a, b = baseline[i], shuffled[pos]
+            where = f"topology={topology} pair={pairs[i]}"
+            assert (a is None) == (b is None), where
+            if a is None:
+                continue
+            assert a.cost == b.cost and a.cells == b.cells, where
+            assert a.expanded == b.expanded, where
 
 
 def test_plan_covers_every_topology_with_enough_graphs():
@@ -98,6 +147,9 @@ def test_trivial_source_equals_destination_on_every_topology():
             result = graph.find_path(cell, cell, method)
             assert result.cells == (cell,), (topology, method)
             assert result.cost == 0.0 and result.expanded == 0, (topology, method)
+            (batched,) = graph.find_paths_batch([(cell, cell)], method)
+            assert batched.cells == (cell,), (topology, method)
+            assert batched.cost == 0.0 and batched.expanded == 0, (topology, method)
 
 
 def test_no_edge_graphs_are_unreachable_everywhere():
@@ -105,3 +157,43 @@ def test_no_edge_graphs_are_unreachable_everywhere():
     src, dst = (int(c) for c in graph.cells[:2])
     for method in SEARCH_METHODS:
         assert graph.find_path(src, dst, method) is None, method
+        assert graph.find_paths_batch([(src, dst)], method) == [None], method
+
+
+def test_degenerate_pairs_short_circuit_before_any_search_work(monkeypatch):
+    """src==dst and provably unreachable pairs must never reach a heap,
+    a lazy preprocessing build, or the batch kernel -- in any variant,
+    scalar or batch.  Poisoning every search backend proves it."""
+    import repro.core.graph as graph_mod
+
+    graph = random_graph(np.random.default_rng(17), "uniform")
+    # A node with no outgoing edges (sink) and one with no incoming
+    # edges (source) give provably unreachable pairs in both directions.
+    out_deg = np.diff(graph.indptr)
+    in_deg = np.bincount(graph.indices, minlength=graph.num_nodes)
+    sinks = np.flatnonzero(out_deg == 0)
+    sources = np.flatnonzero(in_deg == 0)
+    if not len(sinks) or not len(sources):
+        pytest.skip("draw produced no sink/source node")
+    sink = int(graph.cells[sinks[0]])
+    source = int(graph.cells[sources[0]])
+    other = int(graph.cells[0])
+    cell = int(graph.cells[1])
+
+    def poisoned(*args, **kwargs):
+        raise AssertionError("degenerate pair reached search machinery")
+
+    for name in ("_astar_indices", "_bidirectional", "_ch_query", "ensure_ch",
+                 "ensure_landmarks", "_ch_kernel_tables"):
+        monkeypatch.setattr(graph_mod.CellGraph, name, poisoned)
+    monkeypatch.setattr(graph_mod, "batch_ch_paths", poisoned)
+    for method in SEARCH_METHODS:
+        trivial = graph.find_path(cell, cell, method)
+        assert trivial.cost == 0.0 and trivial.expanded == 0, method
+        assert graph.find_path(sink, other, method) is None, method
+        assert graph.find_path(other, source, method) is None, method
+        batched = graph.find_paths_batch(
+            [(cell, cell), (sink, other), (other, source)], method
+        )
+        assert batched[0].cost == 0.0 and batched[0].expanded == 0, method
+        assert batched[1] is None and batched[2] is None, method

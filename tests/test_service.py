@@ -738,6 +738,68 @@ def test_engine_path_cache_invalidated_by_refresh(registry, service_model, tiny_
     assert after.provenance.path_cache == "miss"
 
 
+def test_engine_coalesces_identical_routes_in_batch(registry, service_model, tiny_kiel):
+    """Identical (model, class, snapped src, snapped dst) requests in one
+    batch are searched once: the first is a 'miss', the riders record
+    'coalesced', and everyone gets the same route."""
+    gap = tiny_kiel.gaps(3600.0)[0]
+    engine = BatchImputationEngine(registry)
+    requests = _gap_requests("KIEL", [gap], n=4)  # 4 requests, one route
+    results = engine.run(requests, service_model.config)
+    assert [r.provenance.path_cache for r in results] == [
+        "miss",
+        "coalesced",
+        "coalesced",
+        "coalesced",
+    ]
+    # One search: the cache saw exactly one probe-miss and one insert.
+    assert engine.path_cache.misses == 1 and len(engine.path_cache) == 1
+    for rider in results[1:]:
+        assert np.array_equal(rider.lats, results[0].lats)
+        assert np.array_equal(rider.lngs, results[0].lngs)
+        assert rider.provenance.expanded == results[0].provenance.expanded
+        assert rider.provenance.elapsed_ms > 0.0
+    # A later batch finds the coalesced route cached like any other.
+    (warm,) = engine.run(requests[:1], service_model.config)
+    assert warm.provenance.path_cache == "hit"
+
+
+def test_engine_coalescing_keeps_distinct_routes_apart(
+    registry, service_model, tiny_kiel
+):
+    gaps = tiny_kiel.gaps(3600.0)
+    assert len(gaps) >= 2
+    requests = [
+        GapRequest("KIEL", gaps[0].start, gaps[0].end, "a0"),
+        GapRequest("KIEL", gaps[1].start, gaps[1].end, "b0"),
+        GapRequest("KIEL", gaps[0].start, gaps[0].end, "a1"),
+    ]
+    engine = BatchImputationEngine(registry)
+    a0, b0, a1 = engine.run(requests, service_model.config)
+    assert a0.provenance.path_cache == "miss"
+    assert b0.provenance.path_cache == "miss"
+    assert a1.provenance.path_cache == "coalesced"
+    assert np.array_equal(a0.lats, a1.lats)
+    # Scalar equivalence: the batched engine returns exactly what
+    # single-request batches produce.
+    solo = [
+        BatchImputationEngine(registry).run([r], service_model.config)[0]
+        for r in requests
+    ]
+    for batched, alone in zip((a0, b0, a1), solo):
+        assert np.array_equal(batched.lats, alone.lats)
+        assert np.array_equal(batched.lngs, alone.lngs)
+
+
+def test_engine_no_coalescing_when_cache_disabled(registry, service_model, tiny_kiel):
+    gap = tiny_kiel.gaps(3600.0)[0]
+    engine = BatchImputationEngine(registry, path_cache_size=0)
+    results = engine.run(_gap_requests("KIEL", [gap], n=3), service_model.config)
+    for result in results:
+        assert result.provenance.path_cache == "bypass"
+        assert result.provenance.expanded > 0  # every request searched
+
+
 def test_engine_path_cache_typed_routes_by_class(registry, service_model, tiny_kiel):
     from repro.core import TypedHabitImputer
 
