@@ -55,10 +55,9 @@ import numpy as np
 from repro.core.kernel import (
     KERNEL_BATCH_SIZE,
     KERNEL_SECONDS,
-    KERNEL_SWEEP_ITERATIONS,
-    batch_ch_paths,
     build_kernel_tables,
     initial_cut_counts,
+    solve_batch,
 )
 from repro.hexgrid import (
     cell_axial_array,
@@ -73,6 +72,14 @@ __all__ = ["CellGraph", "SearchResult", "SEARCH_METHODS", "GOAL_DIRECTED_METHODS
 #: Search variants accepted by :meth:`CellGraph.find_path` (and, through
 #: ``HabitConfig.search``, by the imputer's query path).
 SEARCH_METHODS = ("dijkstra", "astar", "bidirectional", "alt", "ch")
+
+#: Below this many non-degenerate lanes, ``find_paths_batch`` answers
+#: each pair with the scalar CH query instead of the NumPy sweep: the
+#: kernel's fixed per-sweep cost (dense 2n workspace, frontier set-up)
+#: only amortises across several lanes, and costs are bit-equal either
+#: way.  ``expanded`` keeps its per-variant meaning (settled nodes
+#: scalar-side, labelled nodes batch-side).
+KERNEL_CROSSOVER_LANES = 4
 
 #: The variants that search *toward* the goal (heuristic- or
 #: hierarchy-guided); each must settle no more nodes than plain Dijkstra
@@ -1484,9 +1491,13 @@ class CellGraph:
 
         With the default ``"ch"`` method every non-degenerate pair runs
         through the vectorised batch kernel
-        (:func:`repro.core.kernel.batch_ch_paths`): one NumPy frontier
+        (:func:`repro.core.kernel.solve_batch`): one NumPy frontier
         sweep answers the whole batch instead of one Python heap loop
-        per query, with costs bit-equal to scalar CH.  Other methods
+        per query, with costs bit-equal to scalar CH.  Batches smaller
+        than :data:`KERNEL_CROSSOVER_LANES` fall back to the scalar CH
+        query per pair, which wins below the sweep's fixed cost (same
+        costs and paths; ``expanded`` counts settled nodes, as for any
+        scalar query).  Other methods
         fall back to :meth:`find_path` per pair -- the scalar oracle
         the property suite compares against.  Degenerate pairs
         (missing endpoints, ``src == dst``, provably unreachable) are
@@ -1521,15 +1532,20 @@ class CellGraph:
                 lanes.append((i, si, di))
             else:
                 results[i] = self.find_path(src, dst, method)
-        if lanes:
+        if lanes and len(lanes) < KERNEL_CROSSOVER_LANES:
+            # Too few lanes for the sweep's fixed cost to amortise: the
+            # scalar CH query wins below the crossover, at bit-equal
+            # costs (it observes its own search metrics).
+            for i, _, _ in lanes:
+                results[i] = self.find_path(pairs[i][0], pairs[i][1], "ch")
+        elif lanes:
             self.ensure_ch()
             kernel_started = perf_counter()
-            paths, costs, expanded, rounds = batch_ch_paths(
+            paths, costs, expanded = solve_batch(
                 self._ch_kernel_tables(),
                 np.asarray([si for _, si, _ in lanes], dtype=np.int64),
                 np.asarray([di for _, _, di in lanes], dtype=np.int64),
             )
-            KERNEL_SWEEP_ITERATIONS.observe(rounds)
             # Each lane is one search: feed the scalar per-query series
             # too (an equal share of the sweep), so dashboards keep
             # counting searches when serving goes batch-native.

@@ -58,6 +58,7 @@ __all__ = [
     "batch_ch_paths",
     "build_kernel_tables",
     "initial_cut_counts",
+    "solve_batch",
 ]
 
 #: Upper bound on ``chunk_queries * (2 * num_nodes)`` for the dense
@@ -406,6 +407,23 @@ def batch_ch_paths(tables, srcs, dsts):
             costs[lo + i] = chunk_costs[i]
             expanded[lo + i] = labelled[i]
     return paths, costs, expanded, total_rounds
+
+
+def solve_batch(tables, srcs, dsts):
+    """Single-model batch entry point: one instrumented kernel solve.
+
+    The reusable seam between callers and the sweep -- the graph layer's
+    :meth:`~repro.core.graph.CellGraph.find_paths_batch`, the serving
+    dispatcher's per-model flushes, and benchmarks all funnel one
+    model's fused lanes through here.  Wraps :func:`batch_ch_paths` and
+    owns the per-sweep instrumentation
+    (``repro_kernel_sweep_iterations``), so every entry path is counted
+    identically.  Returns ``(paths, costs, expanded)``; see
+    :func:`batch_ch_paths` for the contract.
+    """
+    paths, costs, expanded, rounds = batch_ch_paths(tables, srcs, dsts)
+    KERNEL_SWEEP_ITERATIONS.observe(rounds)
+    return paths, costs, expanded
 
 
 def _directed_csr(n, src, dst, cost):

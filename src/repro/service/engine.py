@@ -57,9 +57,33 @@ requester records path-cache tier ``"miss"``; every other rider on the
 same route records ``"coalesced"`` and is fanned the single result --
 large fleet batches converging on hub pairs pay one kernel lane, not N.
 
+**Cross-request micro-batching:** in thread mode the engine routes
+every batch's cache-missed lanes through a shared
+:class:`repro.service.dispatch.BatchDispatcher`.  Concurrent HTTP
+handler threads submitting within a bounded window (``batch_window_ms``,
+plus a ``batch_max_lanes`` cap) fuse into one kernel call per resolved
+class graph, so sixteen simultaneous singletons cost one sweep, not
+sixteen.  The window flushes immediately once every in-flight request
+is parked in it -- a lone request never waits (the idle bypass) -- and
+identical shared routes from *different* requests dedupe to one lane:
+the late arrivals record path-cache tier ``"cross_batch"``, the
+cross-request extension of ``"coalesced"``.  ``batch_window_ms=0``
+disables the dispatcher entirely.
+
+On top of the route cache sits a **rendered-path memo**: RDP
+simplification and resampling dominate the per-request cost of a warm
+hit, yet their output depends only on the route and the *exact* raw
+endpoints.  Both cache tiers' renders are memoized under ``(route key,
+start, end)`` (same capacity as the path cache), together with the
+rendered polyline's metric length, so an exactly-repeated query costs
+two LRU probes and no geometry at all.  Memoized results share their
+coordinate arrays across responses; callers must treat them as
+read-only (the transport only serialises them).
+
 Every result carries :class:`repro.service.schema.Provenance`: which
 model answered, how it was obtained (cache hit / disk load / fit), the
-path-cache tier (``hit``/``miss``/``coalesced``/``bypass``), the
+path-cache tier
+(``hit``/``miss``/``coalesced``/``cross_batch``/``bypass``), the
 executor that ran the request (``thread``/``process``), the routing
 method actually used (including the straight-line fallback flag), nodes
 expanded by the search, the metric path length, and per-request
@@ -76,13 +100,15 @@ from concurrent.futures import ProcessPoolExecutor
 from repro.core import HabitConfig
 from repro.geo.proj import path_length_m
 from repro.obs import METRICS, diff_snapshots
+from repro.service.dispatch import BatchDispatcher
 from repro.service.schema import ImputeResult, Provenance
 
 __all__ = ["BatchImputationEngine"]
 
 _PATH_CACHE_TOTAL = METRICS.counter(
     "repro_path_cache_total",
-    "Snap-and-path route-cache resolutions by tier (hit, miss, bypass).",
+    "Snap-and-path route-cache resolutions by tier "
+    "(hit, miss, coalesced, cross_batch, bypass).",
     ("tier",),
 )
 _IMPUTE_SECONDS = METRICS.histogram(
@@ -134,14 +160,25 @@ class BatchImputationEngine:
 
     Parameters: *registry* (a :class:`repro.service.ModelRegistry`),
     *max_workers* (fan-out width, default ``min(8, cpu_count)``),
-    *path_cache_size* (snap-and-path LRU entries, 0 disables), and
-    *executor* (``"thread"`` or ``"process"``, see the module docstring
-    for the trade-off).  A process-mode engine owns a persistent worker
-    pool; call :meth:`close` (or use the engine as a context manager)
-    to release it.
+    *path_cache_size* (snap-and-path LRU entries, 0 disables; also sizes
+    the rendered-path memo), *executor* (``"thread"`` or ``"process"``,
+    see the module docstring for the trade-off), *batch_window_ms*
+    (cross-request micro-batching window for thread mode, 0 disables
+    the dispatcher) and *batch_max_lanes* (pending-lane cap that
+    flushes a window early).  A process-mode engine owns a persistent
+    worker pool; call :meth:`close` (or use the engine as a context
+    manager) to release it and the dispatcher.
     """
 
-    def __init__(self, registry, max_workers=None, path_cache_size=4096, executor="thread"):
+    def __init__(
+        self,
+        registry,
+        max_workers=None,
+        path_cache_size=4096,
+        executor="thread",
+        batch_window_ms=2.0,
+        batch_max_lanes=64,
+    ):
         if executor not in EXECUTORS:
             raise ValueError(f"executor must be one of {EXECUTORS}, got {executor!r}")
         self.registry = registry
@@ -150,14 +187,30 @@ class BatchImputationEngine:
         #: LRU over (model id, class tag, revision, snapped src, snapped
         #: dst) -> SearchResult | None; 0 disables route caching.
         self.path_cache = _PathCache(path_cache_size) if path_cache_size else None
+        #: LRU over (route cache key, raw start, raw end) ->
+        #: (ImputedPath, path_length_m): the rendered-path memo.
+        self.render_cache = _PathCache(path_cache_size) if path_cache_size else None
         self._path_cache_size = path_cache_size
+        self.batch_window_ms = float(batch_window_ms)
+        self.batch_max_lanes = int(batch_max_lanes)
+        self.dispatcher = None
+        if executor == "thread" and self.batch_window_ms > 0:
+            self.dispatcher = BatchDispatcher(
+                window_s=self.batch_window_ms / 1e3, max_lanes=self.batch_max_lanes
+            )
         self._pool = None  # lazy, persistent ProcessPoolExecutor
         self._pool_lock = threading.Lock()
 
     # -- lifecycle ---------------------------------------------------------
 
     def close(self):
-        """Shut down the process pool, if one was started."""
+        """Release the dispatcher and the process pool, if one started.
+
+        In-flight requests complete (the dispatcher's final window is
+        flushed by its own waiters; later submissions run immediately,
+        unbatched)."""
+        if self.dispatcher is not None:
+            self.dispatcher.close()
         with self._pool_lock:
             pool, self._pool = self._pool, None
         if pool is not None:
@@ -200,14 +253,21 @@ class BatchImputationEngine:
         config = config or HabitConfig()
         if self.executor == "process" and requests:
             return self._run_process(requests, config)
-        models = {}
-        for request in requests:
-            key = (request.dataset.upper(), request.typed)
-            if key not in models:
-                models[key] = self.registry.get(
-                    request.dataset, config, typed=request.typed
-                )
-        return self._run_batched(models, requests, "thread")
+        # Bracket the whole run so the dispatcher knows this thread may
+        # still contribute lanes to the current micro-batching window.
+        token = self.dispatcher.enter() if self.dispatcher is not None else None
+        try:
+            models = {}
+            for request in requests:
+                key = (request.dataset.upper(), request.typed)
+                if key not in models:
+                    models[key] = self.registry.get(
+                        request.dataset, config, typed=request.typed
+                    )
+            return self._run_batched(models, requests, "thread", token)
+        finally:
+            if token is not None:
+                self.dispatcher.leave(token)
 
     def _run_process(self, requests, config):
         """Fan contiguous slices of the batch across the worker pool.
@@ -301,20 +361,27 @@ class BatchImputationEngine:
                 )
         return self._run_batched(models, requests, label)
 
-    def _run_batched(self, models, requests, label):
+    def _run_batched(self, models, requests, label, token=None):
         """Execute one batch: snap + cache-probe per request, one kernel
         sweep per resolved class graph for the misses, render per request.
 
         Coalescing happens between the probe and the sweep: requests
         sharing a full cache key ride one search lane; the first records
-        tier ``"miss"``, the rest ``"coalesced"``.  With the path cache
-        disabled nothing is deduplicated (every request provably pays
-        its own search lane, tier ``"bypass"``), and models without the
-        snap/route/render stages fall back to their scalar ``impute``.
-        Per-request latency charges each rider its snap/probe/render
-        time plus an equal share of its group's kernel call.
+        tier ``"miss"``, the rest ``"coalesced"``.  In thread mode the
+        miss lanes go through the shared dispatcher (*token* is the
+        run's window hold from :meth:`BatchDispatcher.enter`), where
+        they can further fuse with other concurrent requests' lanes; a
+        lane answered by another request's identical search records
+        ``"cross_batch"``.  With the path cache disabled nothing is
+        deduplicated (every request provably pays its own search lane,
+        tier ``"bypass"``), and models without the snap/route/render
+        stages fall back to their scalar ``impute``.  Per-request
+        latency charges each rider its snap/probe/render time plus an
+        equal share of its group's kernel call.  All renders go through
+        the rendered-path memo (exact raw endpoints in the key).
         """
         paths = [None] * len(requests)
+        lengths = [None] * len(requests)
         tiers = [None] * len(requests)
         elapsed = [0.0] * len(requests)
         #: cache key -> [plain imputer, (src, dst), first result, rider idxs]
@@ -362,35 +429,63 @@ class BatchImputationEngine:
                             tiers[i] = "miss"
                             groups.setdefault(id(plain), (plain, []))[1].append(key)
                         else:
-                            paths[i] = plain.render_path(
-                                request.start, request.end, result
+                            paths[i], lengths[i] = self._render(
+                                plain, key, request, result
                             )
                             tiers[i] = "hit"
             elapsed[i] = time.perf_counter() - started
-        for plain, keys in groups.values():
-            started = time.perf_counter()
-            results = plain.route_batch([lanes[key][1] for key in keys])
-            share = (time.perf_counter() - started) / max(
-                1, sum(len(lanes[key][3]) for key in keys)
+        if lanes and token is not None and label == "thread":
+            # Thread mode: hand the miss lanes to the shared dispatcher,
+            # which fuses them with other concurrent requests' windows
+            # and runs one kernel call per resolved class graph.
+            shared = self.path_cache is not None
+            answers = self.dispatcher.submit(
+                token,
+                [
+                    (key, lane[0], lane[1], shared, len(lane[3]))
+                    for key, lane in lanes.items()
+                ],
             )
-            for key, result in zip(keys, results):
-                lane = lanes[key]
+            for key, lane in lanes.items():
+                result, cross, share = answers[key]
                 lane[2] = result
-                if self.path_cache is not None:
+                if shared:
                     self.path_cache.put(key, result)
+                if cross:
+                    # Another in-flight request's identical lane ran the
+                    # search; this batch's first rider was provisionally
+                    # a "miss" (in-batch riders stay "coalesced").
+                    tiers[lane[3][0]] = "cross_batch"
                 for i in lane[3]:
                     elapsed[i] += share
-        for lane in lanes.values():
+        else:
+            for plain, keys in groups.values():
+                started = time.perf_counter()
+                results = plain.route_batch([lanes[key][1] for key in keys])
+                share = (time.perf_counter() - started) / max(
+                    1, sum(len(lanes[key][3]) for key in keys)
+                )
+                for key, result in zip(keys, results):
+                    lane = lanes[key]
+                    lane[2] = result
+                    if self.path_cache is not None:
+                        self.path_cache.put(key, result)
+                    for i in lane[3]:
+                        elapsed[i] += share
+        for key, lane in lanes.items():
             plain, _, result, riders = lane
             for i in riders:
                 started = time.perf_counter()
                 request = requests[i]
-                paths[i] = plain.render_path(request.start, request.end, result)
+                paths[i], lengths[i] = self._render(plain, key, request, result)
                 elapsed[i] += time.perf_counter() - started
         out = []
         for i, request in enumerate(requests):
             imputer, model_id, source = models[(request.dataset.upper(), request.typed)]
             path = paths[i]
+            length = lengths[i]
+            if length is None:
+                length = float(path_length_m(path.lats, path.lngs))
             _PATH_CACHE_TOTAL.inc(1, (tiers[i],))
             _IMPUTE_SECONDS.observe(elapsed[i], (label,))
             provenance = Provenance(
@@ -399,7 +494,7 @@ class BatchImputationEngine:
                 method=path.method,
                 fallback=path.method == "fallback",
                 num_cells=len(path.cells),
-                path_length_m=float(path_length_m(path.lats, path.lngs)),
+                path_length_m=length,
                 elapsed_ms=elapsed[i] * 1e3,
                 revision=getattr(imputer, "revision", 1),
                 path_cache=tiers[i],
@@ -415,6 +510,30 @@ class BatchImputationEngine:
                 )
             )
         return out
+
+    def _render(self, plain, key, request, result):
+        """Render *result* through the rendered-path memo.
+
+        Returns ``(ImputedPath, metric length)``.  The memo key pairs
+        the route's full cache key with the *exact* raw endpoints --
+        simplification and resampling both see the pinned endpoints, so
+        only an exactly-repeated query may reuse the geometry (a nudged
+        endpoint re-renders, bit-identically to an unmemoized engine).
+        Straight-line fallbacks skip the memo: they are cheaper than
+        the probe.
+        """
+        cache = self.render_cache
+        if cache is None or result is None:
+            path = plain.render_path(request.start, request.end, result)
+            return path, float(path_length_m(path.lats, path.lngs))
+        memo_key = (key, request.start, request.end)
+        entry = cache.get(memo_key)
+        if entry is not _MISSING:
+            return entry
+        path = plain.render_path(request.start, request.end, result)
+        entry = (path, float(path_length_m(path.lats, path.lngs)))
+        cache.put(memo_key, entry)
+        return entry
 
 
 # -- process-pool worker side ---------------------------------------------
@@ -449,8 +568,13 @@ def _process_batch(root, path_cache_size, requests, config, revisions):
 
     cached = _WORKER_ENGINES.get(root)
     if cached is None or cached[0] != path_cache_size:
+        # Workers are single-threaded by design: no dispatcher (there
+        # are never concurrent requests to fuse inside one worker).
         engine = BatchImputationEngine(
-            ModelRegistry(root), max_workers=1, path_cache_size=path_cache_size
+            ModelRegistry(root),
+            max_workers=1,
+            path_cache_size=path_cache_size,
+            batch_window_ms=0,
         )
         _WORKER_ENGINES[root] = (path_cache_size, engine)
     else:

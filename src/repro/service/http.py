@@ -26,9 +26,13 @@ Four routes:
 
 Schema violations map to 400, unresolvable models to 404, everything
 else to 500 with the error message in the body.  The server is a
-:class:`ThreadingHTTPServer`, so requests run concurrently; all shared
-state lives in the (locked) registry, the read-only models, the follow
-daemon's own locked status snapshot, and the (locked) metrics registry.
+:class:`ThreadingHTTPServer`, so requests run concurrently -- one
+handler thread per connection; all shared state lives in the (locked)
+registry, the read-only models, the follow daemon's own locked status
+snapshot, and the (locked) metrics registry.  Concurrency is also what
+the engine's micro-batching dispatcher feeds on: handler threads
+submitting cache-missed searches within the same bounded window share
+one kernel call (see :mod:`repro.service.dispatch`).
 
 Every request is counted and timed into
 ``repro_http_requests_total{route,status}`` /
@@ -81,11 +85,16 @@ def make_server(
     metrics=True,
     log_json=False,
     log_file=None,
+    batch_window_ms=2.0,
+    batch_max_lanes=64,
 ):
     """A ready-to-run HTTP server over *registry*.
 
     *executor* picks the batch engine's fan-out (``"thread"`` or
     ``"process"``, see :class:`repro.service.BatchImputationEngine`);
+    *batch_window_ms* / *batch_max_lanes* configure the engine's
+    cross-request micro-batching dispatcher (thread mode; ``0``
+    disables it -- see :class:`repro.service.dispatch.BatchDispatcher`);
     *follow* optionally attaches a started
     :class:`repro.service.FollowDaemon`, surfaced under ``/healthz``.
     *metrics* controls the ``GET /metrics`` route and this transport's
@@ -102,7 +111,13 @@ def make_server(
         server = make_server(registry, port=8080)
         server.serve_forever()
     """
-    engine = BatchImputationEngine(registry, max_workers=max_workers, executor=executor)
+    engine = BatchImputationEngine(
+        registry,
+        max_workers=max_workers,
+        executor=executor,
+        batch_window_ms=batch_window_ms,
+        batch_max_lanes=batch_max_lanes,
+    )
 
     class Handler(_ServiceHandler):
         pass

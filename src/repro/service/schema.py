@@ -63,8 +63,13 @@ class Provenance:
     for the *route*: ``"hit"`` (answered without touching the search
     kernel), ``"miss"`` (searched, now cached), ``"coalesced"`` (an
     identical route earlier in the same batch was searched once and this
-    request rode the same kernel lane) or ``"bypass"`` (uncacheable --
-    snap fallback or cache disabled).  ``expanded`` is the number of
+    request rode the same kernel lane), ``"cross_batch"`` (an identical
+    route submitted by a *different* concurrent request landed in the
+    same micro-batching window and was searched once -- the
+    cross-request extension of ``"coalesced"``; see
+    :class:`repro.service.dispatch.BatchDispatcher`) or ``"bypass"``
+    (uncacheable -- snap fallback or cache disabled).  ``expanded`` is
+    the number of
     nodes the search that produced the route settled (0 for straight
     lines; preserved on cache hits even though the heap wasn't touched),
     so search quality is observable per served response -- with the

@@ -186,7 +186,7 @@ def test_degenerate_pairs_short_circuit_before_any_search_work(monkeypatch):
     for name in ("_astar_indices", "_bidirectional", "_ch_query", "ensure_ch",
                  "ensure_landmarks", "_ch_kernel_tables"):
         monkeypatch.setattr(graph_mod.CellGraph, name, poisoned)
-    monkeypatch.setattr(graph_mod, "batch_ch_paths", poisoned)
+    monkeypatch.setattr(graph_mod, "solve_batch", poisoned)
     for method in SEARCH_METHODS:
         trivial = graph.find_path(cell, cell, method)
         assert trivial.cost == 0.0 and trivial.expanded == 0, method
