@@ -81,12 +81,35 @@ class StreamingSegmenter:
     in trip *completion* order, which generally differs from the
     (vessel, time) numbering of the one-shot path; the trips' row
     contents are identical.
+
+    *buffer_budget* bounds the open-trip buffer to at most that many
+    rows **per vessel**: after each push, any longer open trip is
+    compressed to the budget with
+    :func:`repro.geo.compress_to_budget` (SED-ranked row dropping, time
+    as the sync parameter; a vessel's first and last buffered reports
+    always survive).  Memory then stays O(budget) per vessel no matter
+    how long a vessel keeps transmitting, at the cost of exact
+    equivalence with the one-shot pass: compressed trips keep their
+    shape but lose interior fixes, and a dropped row can widen a
+    gap/jump past the break thresholds, closing the older part of the
+    trip early.  Barriers are unaffected (the open trip's start row is
+    always kept).
     """
 
-    def __init__(self, max_gap_s=1800.0, max_jump_m=5000.0, min_points=2):
+    def __init__(
+        self, max_gap_s=1800.0, max_jump_m=5000.0, min_points=2, buffer_budget=None
+    ):
+        if buffer_budget is not None:
+            if isinstance(buffer_budget, bool) or not isinstance(buffer_budget, int):
+                raise TypeError(
+                    f"buffer_budget must be an int or None, got {buffer_budget!r}"
+                )
+            if buffer_budget < 2:
+                raise ValueError(f"buffer_budget must be >= 2, got {buffer_budget}")
         self.max_gap_s = float(max_gap_s)
         self.max_jump_m = float(max_jump_m)
         self.min_points = int(min_points)
+        self.buffer_budget = buffer_budget
         self._tail = None  # open-trip rows, sorted by (vessel, t)
         self._barrier = {}  # vessel id -> earliest admissible report time
         self._next_trip_id = 0
@@ -140,6 +163,7 @@ class StreamingSegmenter:
                 np.isin(np.asarray(self._tail.column(schema.VESSEL_ID)), closed_vessels)
             )
             self._raise_barriers(sealed, 0.0)
+        self._compact_tail()
         return self._emit(closed, local_ids[~open_mask])
 
     def flush(self):
@@ -162,6 +186,37 @@ class StreamingSegmenter:
         return self._emit(tail, local_ids)
 
     # -- internals ---------------------------------------------------------
+
+    def _compact_tail(self):
+        """Compress each vessel's open trip down to ``buffer_budget`` rows."""
+        budget = self.buffer_budget
+        tail = self._tail
+        if budget is None or tail is None or tail.num_rows <= budget:
+            return
+        from repro.geo.budget import compress_to_budget
+
+        vessel = np.asarray(tail.column(schema.VESSEL_ID))
+        n = len(vessel)
+        run_end = np.ones(n, dtype=bool)
+        run_end[:-1] = vessel[:-1] != vessel[1:]
+        bounds = np.concatenate(([0], np.flatnonzero(run_end) + 1))
+        lat = np.asarray(tail.column(schema.LAT), dtype=np.float64)
+        lon = np.asarray(tail.column(schema.LON), dtype=np.float64)
+        t = np.asarray(tail.column(schema.T), dtype=np.float64)
+        keep = np.ones(n, dtype=bool)
+        changed = False
+        for s, e in zip(bounds[:-1], bounds[1:]):
+            if e - s <= budget:
+                continue
+            # Same local equirectangular scaling _break_mask uses.
+            x = (lon[s:e] - lon[s]) * M_PER_DEG * np.cos(np.radians(lat[s]))
+            y = (lat[s:e] - lat[s]) * M_PER_DEG
+            res = compress_to_budget(x, y, budget, t=t[s:e])
+            keep[s:e] = False
+            keep[s + res.indices] = True
+            changed = True
+        if changed:
+            self._tail = tail.filter(keep)
 
     def _empty_trips(self):
         from repro.minidb import Table

@@ -178,6 +178,17 @@ def _build_parser():
         metavar="ROWS",
         help="max source rows parsed per chunk (default: %(default)s)",
     )
+    follow.add_argument(
+        "--buffer-budget",
+        type=int,
+        default=None,
+        metavar="ROWS",
+        help=(
+            "cap each vessel's open-trip buffer at this many rows, "
+            "compressing longer open trips by SED rank (bounded ingest "
+            "memory per vessel; default: unbounded)"
+        ),
+    )
     default = HabitConfig()
     model = parser.add_argument_group("model config")
     model.add_argument(
@@ -255,6 +266,11 @@ def main(argv=None):
             )
     if args.log_file and not args.log_json:
         parser.error("--log-file only applies with --log-json")
+    if args.buffer_budget is not None:
+        if not args.follow:
+            parser.error("--buffer-budget only applies with --follow")
+        if args.buffer_budget < 2:
+            parser.error("--buffer-budget must be >= 2")
     if not args.metrics:
         # Process-wide switch: every instrumented layer's observations
         # become cheap no-ops, not just the /metrics route.
@@ -305,6 +321,7 @@ def main(argv=None):
                 refresh_interval_s=args.refresh_interval,
                 poll_interval_s=args.poll_interval,
                 chunk_rows=args.chunk_rows,
+                buffer_budget=args.buffer_budget,
             ).start()
             print(
                 f"following {args.follow} -> {follow_dataset} "

@@ -96,9 +96,11 @@ import threading
 import time
 from collections import OrderedDict
 from concurrent.futures import ProcessPoolExecutor
+from dataclasses import replace
 
 from repro.core import HabitConfig
-from repro.geo.proj import path_length_m
+from repro.geo.budget import compress_to_budget
+from repro.geo.proj import latlng_to_xy_m, path_length_m
 from repro.obs import METRICS, diff_snapshots
 from repro.service.dispatch import BatchDispatcher
 from repro.service.schema import ImputeResult, Provenance
@@ -116,6 +118,15 @@ _IMPUTE_SECONDS = METRICS.histogram(
     "Per-gap imputation latency in seconds (snap + route + render), "
     "by executor.",
     ("executor",),
+)
+_COMPRESS_SECONDS = METRICS.histogram(
+    "repro_compress_seconds",
+    "Budget (max_points) compression latency per compressed response "
+    "in seconds.",
+)
+_COMPRESS_DROPPED = METRICS.counter(
+    "repro_compress_points_dropped_total",
+    "Path points dropped by per-request max_points budget compression.",
 )
 
 #: Sentinel distinguishing "not cached" from a cached no-route (None).
@@ -484,6 +495,30 @@ class BatchImputationEngine:
             imputer, model_id, source = models[(request.dataset.upper(), request.typed)]
             path = paths[i]
             length = lengths[i]
+            points_in = points_out = 0
+            max_sed = 0.0
+            budget = request.max_points
+            if budget is not None and len(path.lats) > budget:
+                # Strictly post-memo: the rendered-path memo (and the
+                # route cache before it) stay budget-agnostic, so mixed
+                # budgets share one cached geometry and an over-large
+                # budget is an exact no-op.
+                started = time.perf_counter()
+                x, y = latlng_to_xy_m(path.lats, path.lngs)
+                squeezed = compress_to_budget(x, y, budget)
+                path = replace(
+                    path,
+                    lats=path.lats[squeezed.indices],
+                    lngs=path.lngs[squeezed.indices],
+                )
+                length = float(path_length_m(path.lats, path.lngs))
+                spent = time.perf_counter() - started
+                elapsed[i] += spent
+                _COMPRESS_SECONDS.observe(spent)
+                _COMPRESS_DROPPED.inc(squeezed.points_dropped)
+                points_in = squeezed.points_in
+                points_out = squeezed.points_out
+                max_sed = squeezed.max_sed_m
             if length is None:
                 length = float(path_length_m(path.lats, path.lngs))
             _PATH_CACHE_TOTAL.inc(1, (tiers[i],))
@@ -500,6 +535,9 @@ class BatchImputationEngine:
                 path_cache=tiers[i],
                 expanded=path.expanded,
                 executor=label,
+                points_in=points_in,
+                points_out=points_out,
+                max_sed_m=max_sed,
             )
             out.append(
                 ImputeResult(

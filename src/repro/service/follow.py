@@ -90,6 +90,13 @@ class FollowDaemon:
     - *chunk_rows*: max source rows parsed per chunk (memory bound).
     - *max_gap_s* / *max_jump_m* / *min_points*: segmentation thresholds,
       matching :func:`repro.core.segment_trips` defaults.
+    - *buffer_budget*: cap each vessel's open-trip buffer at this many
+      rows (CLI ``--buffer-budget``).  Longer open trips are compressed
+      in place by SED rank (see
+      :class:`repro.core.StreamingSegmenter`), so ingest memory stays
+      O(budget) per vessel no matter how long a vessel transmits
+      without a trip break; ``None`` (the default) keeps the exact
+      unbounded behaviour.
 
     ``start()`` launches the daemon thread; ``stop()`` joins it.  A trip
     only closes once its vessel shows a later gap/jump (or another trip),
@@ -110,6 +117,7 @@ class FollowDaemon:
         max_gap_s=1800.0,
         max_jump_m=5000.0,
         min_points=2,
+        buffer_budget=None,
     ):
         self.registry = registry
         self.dataset = str(dataset)
@@ -118,7 +126,9 @@ class FollowDaemon:
         self.refresh_interval_s = float(refresh_interval_s)
         self.poll_interval_s = float(poll_interval_s)
         self._follower = CsvFollower(path, chunk_rows=chunk_rows)
-        self._segmenter = StreamingSegmenter(max_gap_s, max_jump_m, min_points)
+        self._segmenter = StreamingSegmenter(
+            max_gap_s, max_jump_m, min_points, buffer_budget=buffer_budget
+        )
         self._backlog = []  # polled-but-unsegmented chunks (crash-retryable)
         self._pending = []  # closed-trip tables awaiting the next refresh
         self._pending_rows = 0
@@ -141,6 +151,8 @@ class FollowDaemon:
             "typed": self.typed,
             "running": False,
             "rows_read": 0,
+            "open_rows": 0,
+            "buffer_budget": buffer_budget,
             "trips_closed": 0,
             "refreshes": 0,
             "revision": None,
@@ -290,6 +302,8 @@ class FollowDaemon:
             if trips.num_rows:
                 self._pending.append(trips)
                 self._pending_rows += trips.num_rows
+        with self._status_lock:
+            self._status["open_rows"] = self._segmenter.open_rows
         return got_data
 
     def _maybe_refresh(self, last_refresh):

@@ -23,6 +23,9 @@ Four routes:
 - ``POST /impute`` -- a batch of gap requests (see
   :mod:`repro.service.schema`); the response carries per-request
   provenance and a GeoJSON FeatureCollection of the imputed paths.
+  A request's optional ``max_points`` caps its response polyline via
+  budget compression (:mod:`repro.geo.budget`); the provenance then
+  reports ``points_in``/``points_out``/``max_sed_m``.
 
 Schema violations map to 400, unresolvable models to 404, everything
 else to 500 with the error message in the body.  The server is a

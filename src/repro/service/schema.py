@@ -43,6 +43,12 @@ class GapRequest:
     :class:`repro.core.TypedHabitImputer` (resolved and persisted under
     its own model id); ``vessel_type`` then picks the class-specific
     graph, falling back to the global one when omitted or unknown.
+
+    ``max_points`` caps the response polyline: when the rendered path is
+    longer, it is compressed to the budget with
+    :func:`repro.geo.compress_to_budget` *after* the render memo, so
+    cached paths stay budget-agnostic and a large budget is an exact
+    no-op.  Must be an integer >= 2 when given.
     """
 
     dataset: str
@@ -51,6 +57,7 @@ class GapRequest:
     request_id: str = ""
     typed: bool = False
     vessel_type: str | None = None
+    max_points: int | None = None
 
 
 @dataclass(frozen=True)
@@ -83,7 +90,12 @@ class Provenance:
     default) or ``"process"`` (fanned to a worker process; see
     :class:`repro.service.BatchImputationEngine`).  ``path_length_m`` is
     the metric length of the returned polyline -- the path-cost measure
-    exposed to clients.
+    exposed to clients.  When a request's ``max_points`` budget actually
+    compressed the response, ``points_in``/``points_out`` record the
+    polyline size before/after compression and ``max_sed_m`` the worst
+    synchronized-Euclidean displacement of any dropped point; all three
+    stay at their zero defaults when no points were dropped, so an
+    over-large budget yields a response byte-identical to omitting it.
     """
 
     model_id: str
@@ -97,6 +109,9 @@ class Provenance:
     path_cache: str = "bypass"
     expanded: int = 0
     executor: str = "thread"
+    points_in: int = 0
+    points_out: int = 0
+    max_sed_m: float = 0.0
 
     def to_dict(self):
         """Plain-dict view for JSON responses."""
@@ -192,6 +207,18 @@ def _parse_request(item, index):
     vessel_type = item.get("vessel_type")
     if vessel_type is not None and not isinstance(vessel_type, str):
         raise SchemaError(f"requests[{index}].vessel_type must be a string")
+    max_points = item.get("max_points")
+    if max_points is not None:
+        if isinstance(max_points, bool) or not isinstance(max_points, int):
+            raise SchemaError(
+                f"requests[{index}].max_points must be an integer >= 2, "
+                f"got {max_points!r}"
+            )
+        if max_points < 2:
+            raise SchemaError(
+                f"requests[{index}].max_points must be >= 2 "
+                f"(both endpoints are always kept), got {max_points}"
+            )
     return GapRequest(
         dataset=dataset.strip(),
         start=_parse_endpoint(item.get("start"), f"requests[{index}].start"),
@@ -199,6 +226,7 @@ def _parse_request(item, index):
         request_id=request_id,
         typed=typed,
         vessel_type=vessel_type,
+        max_points=max_points,
     )
 
 

@@ -311,3 +311,96 @@ def test_follow_daemon_surfaces_refresh_errors(tmp_path):
     status = daemon.status()
     assert status["last_error"] is not None and "ATLANTIS" in status["last_error"]
     assert status["running"] is False
+
+
+def _lane_rows(vessel_id, t0, n=400):
+    """A long curved single-vessel lane at 30 s cadence: steady eastward
+    progress with a gentle cross-track sinusoid, never breaking the
+    gap/jump thresholds -- one ever-growing open trip."""
+    rows = []
+    for i in range(n):
+        lat = 54.4 + 0.002 * np.sin(i / 40.0)
+        lon = 10.3 + 0.0005 * i
+        rows.append(f"{vessel_id},{t0 + 30 * i},{lat:.6f},{lon:.6f},8.0,45.0,cargo\n")
+    return rows
+
+
+def test_follow_buffer_budget_bounds_open_trips(tmp_path, service_model):
+    """--buffer-budget holds the open-trip buffer at the budget while the
+    refreshed model still covers the vessel's lane cells (fit quality
+    degrades gracefully, not catastrophically)."""
+    from repro.hexgrid import latlng_to_cell_array
+
+    budget = 60
+    t0 = 5_000_000
+    lane = _lane_rows(921, t0=t0)
+    sealing = f"921,{t0 + 7 * 86_400},54.4,10.3,8.0,45.0,cargo\n"
+
+    def run(name, buffer_budget):
+        registry = ModelRegistry(tmp_path / name, capacity=4)
+        registry.publish("KIEL", service_model)
+        dump = tmp_path / f"{name}.csv"
+        dump.write_text(HEADER + "".join(lane))
+        daemon = FollowDaemon(
+            registry,
+            dump,
+            "KIEL",
+            config=service_model.config,
+            refresh_interval_s=0.05,
+            poll_interval_s=0.02,
+            chunk_rows=64,
+            buffer_budget=buffer_budget,
+        ).start()
+        try:
+            # The whole lane is one open trip; wait for it to be buffered.
+            # status open_rows is only ever published post-compaction, so a
+            # bounded run may never report more than the budget.
+            expected_open = budget if buffer_budget else len(lane)
+            observed_max = 0
+            deadline = time.monotonic() + 20.0
+            while time.monotonic() < deadline:
+                status = daemon.status()
+                observed_max = max(observed_max, status["open_rows"])
+                if (
+                    status["rows_read"] >= len(lane)
+                    and status["open_rows"] == expected_open
+                ):
+                    break
+                time.sleep(0.02)
+            status = daemon.status()
+            assert status["open_rows"] == expected_open, status
+            assert status["last_error"] is None, status
+            if buffer_budget:
+                assert observed_max <= budget
+                assert status["buffer_budget"] == budget
+            # Seal the trip; the refresh folds the buffered rows in.
+            with open(dump, "a") as handle:
+                handle.write(sealing)
+            deadline = time.monotonic() + 20.0
+            while time.monotonic() < deadline and daemon.status()["refreshes"] < 1:
+                time.sleep(0.02)
+            status = daemon.status()
+            assert status["refreshes"] >= 1 and status["last_error"] is None, status
+        finally:
+            daemon.stop()
+        imputer, _, _ = registry.get("KIEL", service_model.config)
+        return set(np.asarray(imputer.graph.cells).tolist())
+
+    unbounded_cells = run("unbounded", None)
+    bounded_cells = run("bounded", budget)
+
+    resolution = service_model.config.resolution
+    lane_lat = 54.4 + 0.002 * np.sin(np.arange(len(lane)) / 40.0)
+    lane_lon = 10.3 + 0.0005 * np.arange(len(lane))
+    lane_cells = set(latlng_to_cell_array(lane_lat, lane_lon, resolution).tolist())
+    baseline = set(np.asarray(service_model.graph.cells).tolist())
+
+    # Coverage the refresh contributed along the lane, bounded vs not.
+    gained_unbounded = (unbounded_cells - baseline) & lane_cells
+    gained_bounded = (bounded_cells - baseline) & lane_cells
+    assert gained_unbounded, "unbounded refresh never covered the lane"
+    overlap = len(gained_bounded & gained_unbounded) / len(gained_unbounded)
+    assert overlap >= 0.5, (
+        f"budgeted refresh covers {overlap:.0%} of the lane cells the "
+        f"unbounded run learned ({len(gained_bounded)} vs {len(gained_unbounded)})"
+    )

@@ -492,6 +492,26 @@ def test_refresh_rejects_stateless_models(tmp_path, tiny_kiel, service_model):
             {"dataset": "KIEL", "start": [1, 2], "end": [3, 4], "config": [1]},
             "config must be",
         ),
+        (
+            {"dataset": "KIEL", "start": [1, 2], "end": [3, 4], "max_points": 0},
+            "max_points",
+        ),
+        (
+            {"dataset": "KIEL", "start": [1, 2], "end": [3, 4], "max_points": -3},
+            "max_points",
+        ),
+        (
+            {"dataset": "KIEL", "start": [1, 2], "end": [3, 4], "max_points": "ten"},
+            "max_points",
+        ),
+        (
+            {"dataset": "KIEL", "start": [1, 2], "end": [3, 4], "max_points": 2.5},
+            "max_points",
+        ),
+        (
+            {"dataset": "KIEL", "start": [1, 2], "end": [3, 4], "max_points": True},
+            "max_points",
+        ),
     ],
 )
 def test_parse_impute_payload_rejects(payload, fragment):
@@ -819,3 +839,109 @@ def test_engine_path_cache_typed_routes_by_class(registry, service_model, tiny_k
     # A different class resolves a different graph: no cross-class reuse.
     (c,) = engine.run(req("c", "submarine"), service_model.config)
     assert c.provenance.path_cache == "miss"
+
+
+# -- budget compression (max_points) --------------------------------------
+
+
+def _compressible_gap(engine, config, gaps, min_points=6):
+    """First gap whose rendered path is long enough to actually compress."""
+    for gap in gaps:
+        (probe,) = engine.run([GapRequest("KIEL", gap.start, gap.end, "probe")], config)
+        if probe.num_points >= min_points and not probe.provenance.fallback:
+            return gap, probe
+    pytest.skip(f"no rendered KIEL path reaches {min_points} points")
+
+
+def test_engine_max_points_compresses_and_reports(registry, service_model, tiny_kiel):
+    engine = BatchImputationEngine(registry)
+    gap, full = _compressible_gap(engine, service_model.config, tiny_kiel.gaps(3600.0))
+    budget = max(2, full.num_points // 2)
+    (squeezed,) = engine.run(
+        [GapRequest("KIEL", gap.start, gap.end, "r0", max_points=budget)],
+        service_model.config,
+    )
+    assert squeezed.num_points <= budget
+    prov = squeezed.provenance
+    assert prov.points_in == full.num_points
+    assert prov.points_out == squeezed.num_points
+    assert prov.max_sed_m > 0.0
+    # Endpoints are pinned through compression; the chord can only shrink.
+    assert squeezed.lats[0] == full.lats[0] and squeezed.lats[-1] == full.lats[-1]
+    assert squeezed.lngs[0] == full.lngs[0] and squeezed.lngs[-1] == full.lngs[-1]
+    assert prov.path_length_m <= full.provenance.path_length_m + 1e-6
+    # The output is a subsequence of the uncompressed rendering.
+    positions = {(lat, lng) for lat, lng in zip(full.lats, full.lngs)}
+    assert all((lat, lng) in positions for lat, lng in zip(squeezed.lats, squeezed.lngs))
+
+
+def test_engine_max_points_noop_is_bit_identical(registry, service_model, tiny_kiel):
+    engine = BatchImputationEngine(registry)
+    gap, _ = _compressible_gap(engine, service_model.config, tiny_kiel.gaps(3600.0))
+    plain_req = [GapRequest("KIEL", gap.start, gap.end, "r0")]
+    engine.run(plain_req, service_model.config)  # warm route cache + memo
+    (reference,) = engine.run(plain_req, service_model.config)
+    assert reference.provenance.path_cache == "hit"
+    (capped,) = engine.run(
+        [GapRequest("KIEL", gap.start, gap.end, "r0", max_points=10_000)],
+        service_model.config,
+    )
+    # Over-large budget: memo still hit (the very same cached arrays come
+    # back) and the response is bit-identical to omitting max_points.
+    assert capped.provenance.path_cache == "hit"
+    assert capped.lats is reference.lats and capped.lngs is reference.lngs
+    ref_dict = reference.provenance.to_dict()
+    cap_dict = capped.provenance.to_dict()
+    ref_dict.pop("elapsed_ms"), cap_dict.pop("elapsed_ms")
+    assert cap_dict == ref_dict
+    assert cap_dict["points_in"] == 0 and cap_dict["max_sed_m"] == 0.0
+
+
+def test_http_impute_max_points_bounded(server, tiny_kiel):
+    gaps = tiny_kiel.gaps(3600.0)
+    for gap in gaps:
+        status, body = _post(
+            server,
+            "/impute",
+            {"dataset": "KIEL", "start": list(gap.start), "end": list(gap.end)},
+        )
+        n = len(body["geojson"]["features"][0]["geometry"]["coordinates"])
+        if n >= 6 and not body["results"][0]["provenance"]["fallback"]:
+            break
+    else:
+        pytest.skip("no rendered KIEL path reaches 6 points")
+    budget = max(2, n // 2)
+    status, body = _post(
+        server,
+        "/impute",
+        {
+            "dataset": "KIEL",
+            "start": list(gap.start),
+            "end": list(gap.end),
+            "max_points": budget,
+        },
+    )
+    assert status == 200
+    coords = body["geojson"]["features"][0]["geometry"]["coordinates"]
+    prov = body["results"][0]["provenance"]
+    assert len(coords) <= budget
+    assert prov["points_in"] == n
+    assert prov["points_out"] == len(coords)
+    assert prov["max_sed_m"] > 0.0
+
+
+def test_http_invalid_max_points_is_400(server):
+    for bad in (0, -3, "ten", 2.5, True):
+        with pytest.raises(urllib.error.HTTPError) as err:
+            _post(
+                server,
+                "/impute",
+                {
+                    "dataset": "KIEL",
+                    "start": [54.0, 10.0],
+                    "end": [55.0, 11.0],
+                    "max_points": bad,
+                },
+            )
+        assert err.value.code == 400
+        assert "max_points" in err.value.read().decode()

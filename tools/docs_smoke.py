@@ -72,7 +72,14 @@ def _post_json(base, path, payload):
 
 
 def documented_metrics():
-    """Every ``repro_*`` metric named in the OPERATIONS.md Monitoring section."""
+    """Every ``repro_*`` metric named in the OPERATIONS.md Monitoring section.
+
+    The section must also state its own size ("catalogue covers **N**
+    series"), and N must equal the number of distinct metric names found
+    -- so a new metric cannot land half-documented (named in a playbook
+    but missing from the catalogue table, or added to the code with the
+    count left stale).
+    """
     ops = (REPO / "docs" / "OPERATIONS.md").read_text(encoding="utf-8")
     if "## 4. Monitoring" not in ops:
         raise SystemExit("docs/OPERATIONS.md: no '## 4. Monitoring' section")
@@ -81,6 +88,18 @@ def documented_metrics():
     if len(names) < 10:
         raise SystemExit(
             f"docs/OPERATIONS.md: Monitoring catalogue looks gutted ({names})"
+        )
+    declared = re.search(r"catalogue covers \*\*(\d+)\*\* series", section)
+    if declared is None:
+        raise SystemExit(
+            "docs/OPERATIONS.md: Monitoring section must declare its size "
+            "('catalogue covers **N** series')"
+        )
+    if int(declared.group(1)) != len(names):
+        raise SystemExit(
+            f"docs/OPERATIONS.md: Monitoring section declares "
+            f"{declared.group(1)} series but names {len(names)} distinct "
+            f"repro_* metrics -- update the count alongside the catalogue"
         )
     return names
 
